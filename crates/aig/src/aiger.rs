@@ -1,0 +1,441 @@
+//! ASCII AIGER (`aag`) reading and writing.
+//!
+//! Only the combinational subset is supported (no latches), which is all the
+//! paper's benchmarks need. Reading goes through [`crate::Aig::add_and`], so
+//! redundant gates in the file are folded/strashed away; writing renumbers
+//! live nodes compactly in topological order.
+
+use std::io::{BufRead, Write};
+
+use crate::{Aig, AigError, AigRead, Lit, NodeId};
+
+/// Parses an ASCII AIGER document into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns [`AigError::ParseAiger`] on malformed input or if the file
+/// declares latches, and [`AigError::Io`] on read failures.
+///
+/// # Example
+///
+/// ```
+/// use dacpara_aig::aiger;
+/// let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+/// let aig = aiger::read(text.as_bytes())?;
+/// assert_eq!(aig.num_inputs(), 2);
+/// # Ok::<(), dacpara_aig::AigError>(())
+/// ```
+pub fn read<R: BufRead>(mut reader: R) -> Result<Aig, AigError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    parse(&text)
+}
+
+/// Parses an ASCII AIGER document from a string.
+///
+/// # Errors
+///
+/// See [`read`].
+pub fn parse(text: &str) -> Result<Aig, AigError> {
+    let bad = |msg: &str| AigError::ParseAiger(msg.to_string());
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| bad("missing header"))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("aag") {
+        return Err(bad("expected `aag` header (binary `aig` is unsupported)"));
+    }
+    let mut nums = [0usize; 5];
+    for slot in &mut nums {
+        *slot = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("header needs five integers M I L O A"))?;
+    }
+    let [m, i, l, o, a] = nums;
+    if l != 0 {
+        return Err(bad("latches are not supported"));
+    }
+    if m < i + a {
+        return Err(bad("M must be at least I + A"));
+    }
+
+    let mut aig = Aig::with_capacity(m + 1);
+    // map from AIGER variable index to our literal
+    let mut map: Vec<Option<Lit>> = vec![None; m + 1];
+    map[0] = Some(Lit::FALSE);
+
+    let parse_lit = |tok: &str, map: &[Option<Lit>]| -> Result<Lit, AigError> {
+        let raw: u32 = tok
+            .parse()
+            .map_err(|_| AigError::ParseAiger(format!("bad literal `{tok}`")))?;
+        let var = (raw >> 1) as usize;
+        let lit = map
+            .get(var)
+            .copied()
+            .flatten()
+            .ok_or_else(|| AigError::ParseAiger(format!("undefined variable {var}")))?;
+        Ok(lit.xor(raw & 1 == 1))
+    };
+
+    for k in 0..i {
+        let line = lines.next().ok_or_else(|| bad("missing input line"))?;
+        let raw: u32 = line
+            .trim()
+            .parse()
+            .map_err(|_| bad("bad input literal"))?;
+        if raw & 1 == 1 || raw == 0 {
+            return Err(bad("input literal must be positive and even"));
+        }
+        let var = (raw >> 1) as usize;
+        if var > m || map[var].is_some() {
+            return Err(AigError::ParseAiger(format!(
+                "input {k} redefines variable {var}"
+            )));
+        }
+        map[var] = Some(aig.add_input());
+    }
+
+    let output_lines: Vec<&str> = (0..o)
+        .map(|_| lines.next().ok_or_else(|| bad("missing output line")))
+        .collect::<Result<_, _>>()?;
+
+    for _ in 0..a {
+        let line = lines.next().ok_or_else(|| bad("missing AND line"))?;
+        let mut toks = line.split_whitespace();
+        let lhs: u32 = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("bad AND lhs"))?;
+        if lhs & 1 == 1 {
+            return Err(bad("AND lhs must be even"));
+        }
+        let var = (lhs >> 1) as usize;
+        if var > m || map[var].is_some() {
+            return Err(AigError::ParseAiger(format!("AND redefines variable {var}")));
+        }
+        let r0 = toks.next().ok_or_else(|| bad("missing AND rhs0"))?;
+        let r1 = toks.next().ok_or_else(|| bad("missing AND rhs1"))?;
+        let f0 = parse_lit(r0, &map)?;
+        let f1 = parse_lit(r1, &map)?;
+        map[var] = Some(aig.add_and(f0, f1));
+    }
+
+    for line in output_lines {
+        let lit = parse_lit(line.trim(), &map)?;
+        aig.add_output(lit);
+    }
+
+    Ok(aig)
+}
+
+/// Serializes the graph as an ASCII AIGER document.
+///
+/// Live nodes are renumbered compactly (inputs first, then ANDs in
+/// topological order), so a write/read round trip yields an isomorphic graph.
+///
+/// # Errors
+///
+/// Returns [`AigError::Io`] if the writer fails.
+pub fn write<W: Write>(aig: &Aig, mut writer: W) -> Result<(), AigError> {
+    let order = crate::topo::topo_ands(aig);
+    let i = aig.num_inputs();
+    let a = order.len();
+    let m = i + a;
+
+    let mut var_of: Vec<u32> = vec![0; aig.slot_count()];
+    for (k, &inp) in aig.inputs().iter().enumerate() {
+        var_of[inp.index()] = (k + 1) as u32;
+    }
+    for (k, &n) in order.iter().enumerate() {
+        var_of[n.index()] = (i + k + 1) as u32;
+    }
+    let emit = |l: Lit| -> u32 {
+        if l.node() == NodeId::CONST0 {
+            l.is_complement() as u32
+        } else {
+            var_of[l.node().index()] << 1 | l.is_complement() as u32
+        }
+    };
+
+    writeln!(writer, "aag {m} {i} 0 {} {a}", aig.num_outputs())?;
+    for k in 0..i {
+        writeln!(writer, "{}", (k + 1) << 1)?;
+    }
+    for &po in aig.outputs() {
+        writeln!(writer, "{}", emit(po))?;
+    }
+    for &n in &order {
+        let [f0, f1] = aig.fanins(n);
+        writeln!(
+            writer,
+            "{} {} {}",
+            var_of[n.index()] << 1,
+            emit(f0),
+            emit(f1)
+        )?;
+    }
+    Ok(())
+}
+
+/// Serializes the graph to a `String` (convenience over [`write()`]).
+pub fn to_string(aig: &Aig) -> String {
+    let mut buf = Vec::new();
+    write(aig, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("aiger output is ascii")
+}
+
+/// Serializes the graph in the *binary* AIGER format (`aig` header): ANDs
+/// are stored as two LEB128-style delta-encoded literals, making large
+/// netlists roughly 4–8x smaller than the ASCII form.
+///
+/// # Errors
+///
+/// Returns [`AigError::Io`] if the writer fails.
+pub fn write_binary<W: Write>(aig: &Aig, mut writer: W) -> Result<(), AigError> {
+    let order = crate::topo::topo_ands(aig);
+    let i = aig.num_inputs();
+    let a = order.len();
+    let m = i + a;
+
+    let mut var_of: Vec<u32> = vec![0; aig.slot_count()];
+    for (k, &inp) in aig.inputs().iter().enumerate() {
+        var_of[inp.index()] = (k + 1) as u32;
+    }
+    for (k, &n) in order.iter().enumerate() {
+        var_of[n.index()] = (i + k + 1) as u32;
+    }
+    let emit = |l: Lit| -> u32 {
+        if l.node() == NodeId::CONST0 {
+            l.is_complement() as u32
+        } else {
+            var_of[l.node().index()] << 1 | l.is_complement() as u32
+        }
+    };
+
+    writeln!(writer, "aig {m} {i} 0 {} {a}", aig.num_outputs())?;
+    // Binary format: inputs are implicit (variables 1..=I).
+    for &po in aig.outputs() {
+        writeln!(writer, "{}", emit(po))?;
+    }
+    for (k, &n) in order.iter().enumerate() {
+        let lhs = ((i + k + 1) << 1) as u32;
+        let [f0, f1] = aig.fanins(n);
+        let (mut r0, mut r1) = (emit(f0), emit(f1));
+        if r0 < r1 {
+            std::mem::swap(&mut r0, &mut r1);
+        }
+        debug_assert!(lhs > r0 && r0 >= r1, "binary aiger needs lhs > rhs0 >= rhs1");
+        write_delta(&mut writer, lhs - r0)?;
+        write_delta(&mut writer, r0 - r1)?;
+    }
+    Ok(())
+}
+
+fn write_delta<W: Write>(writer: &mut W, mut delta: u32) -> Result<(), AigError> {
+    let mut bytes = [0u8; 5];
+    let mut len = 0;
+    loop {
+        let mut byte = (delta & 0x7F) as u8;
+        delta >>= 7;
+        if delta != 0 {
+            byte |= 0x80;
+        }
+        bytes[len] = byte;
+        len += 1;
+        if delta == 0 {
+            break;
+        }
+    }
+    writer.write_all(&bytes[..len])?;
+    Ok(())
+}
+
+/// Parses the binary AIGER format.
+///
+/// # Errors
+///
+/// Returns [`AigError::ParseAiger`] on malformed input (including declared
+/// latches) and [`AigError::Io`] on read failures.
+pub fn read_binary<R: BufRead>(mut reader: R) -> Result<Aig, AigError> {
+    let bad = |msg: &str| AigError::ParseAiger(msg.to_string());
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("aig") {
+        return Err(bad("expected `aig` header"));
+    }
+    let mut nums = [0usize; 5];
+    for slot in &mut nums {
+        *slot = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("header needs five integers M I L O A"))?;
+    }
+    let [m, i, l, o, a] = nums;
+    if l != 0 {
+        return Err(bad("latches are not supported"));
+    }
+    if m != i + a {
+        return Err(bad("binary aiger requires M = I + A"));
+    }
+
+    let mut aig = Aig::with_capacity(m + 1);
+    let mut lits: Vec<Lit> = Vec::with_capacity(m + 1);
+    lits.push(Lit::FALSE);
+    for _ in 0..i {
+        lits.push(aig.add_input());
+    }
+
+    let mut outputs_raw = Vec::with_capacity(o);
+    for _ in 0..o {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let raw: u32 = line
+            .trim()
+            .parse()
+            .map_err(|_| bad("bad output literal"))?;
+        outputs_raw.push(raw);
+    }
+
+    for k in 0..a {
+        let lhs = ((i + k + 1) << 1) as u32;
+        let d0 = read_delta(&mut reader)?;
+        let d1 = read_delta(&mut reader)?;
+        let r0 = lhs
+            .checked_sub(d0)
+            .ok_or_else(|| bad("delta0 exceeds lhs"))?;
+        let r1 = r0
+            .checked_sub(d1)
+            .ok_or_else(|| bad("delta1 exceeds rhs0"))?;
+        let get = |raw: u32| -> Result<Lit, AigError> {
+            let var = (raw >> 1) as usize;
+            let lit = lits
+                .get(var)
+                .copied()
+                .ok_or_else(|| AigError::ParseAiger(format!("undefined variable {var}")))?;
+            Ok(lit.xor(raw & 1 == 1))
+        };
+        let f0 = get(r0)?;
+        let f1 = get(r1)?;
+        lits.push(aig.add_and(f0, f1));
+    }
+
+    for raw in outputs_raw {
+        let var = (raw >> 1) as usize;
+        let lit = lits
+            .get(var)
+            .copied()
+            .ok_or_else(|| AigError::ParseAiger(format!("undefined output variable {var}")))?;
+        aig.add_output(lit.xor(raw & 1 == 1));
+    }
+    Ok(aig)
+}
+
+fn read_delta<R: BufRead>(reader: &mut R) -> Result<u32, AigError> {
+    let mut value = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        if shift >= 35 {
+            return Err(AigError::ParseAiger("delta encoding overflow".into()));
+        }
+        value |= ((byte[0] & 0x7F) as u32) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let x = aig.add_xor(a, b);
+        let y = aig.add_mux(c, x, a);
+        aig.add_output(y);
+        aig.add_output(!x);
+        aig
+    }
+
+    #[test]
+    fn roundtrip_preserves_shape() {
+        let aig = sample();
+        let text = to_string(&aig);
+        let back = parse(&text).unwrap();
+        back.check().unwrap();
+        assert_eq!(back.num_inputs(), aig.num_inputs());
+        assert_eq!(back.num_outputs(), aig.num_outputs());
+        assert_eq!(back.num_ands(), aig.num_ands());
+        assert_eq!(to_string(&back), text);
+    }
+
+    #[test]
+    fn parses_constant_outputs() {
+        let aig = parse("aag 1 1 0 2 0\n2\n0\n1\n").unwrap();
+        assert_eq!(aig.outputs()[0], Lit::FALSE);
+        assert_eq!(aig.outputs()[1], Lit::TRUE);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        assert!(matches!(
+            parse("aag 1 0 1 0 0\n2 0\n"),
+            Err(AigError::ParseAiger(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_undefined_variable() {
+        assert!(parse("aag 3 1 0 1 1\n2\n6\n6 2 8\n").is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_function() {
+        let aig = sample();
+        let mut buf = Vec::new();
+        write_binary(&aig, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        back.check().unwrap();
+        assert_eq!(back.num_inputs(), aig.num_inputs());
+        assert_eq!(back.num_outputs(), aig.num_outputs());
+        assert_eq!(back.num_ands(), aig.num_ands());
+        // Same canonical ASCII form => isomorphic.
+        assert_eq!(to_string(&back), to_string(&aig));
+    }
+
+    #[test]
+    fn binary_is_smaller_than_ascii() {
+        let mut aig = Aig::new();
+        let ins: Vec<_> = (0..16).map(|_| aig.add_input()).collect();
+        let mut acc = ins[0];
+        for w in ins.windows(2) {
+            let x = aig.add_xor(w[0], w[1]);
+            acc = aig.add_and(acc, x);
+        }
+        aig.add_output(acc);
+        let ascii = to_string(&aig).len();
+        let mut bin = Vec::new();
+        write_binary(&aig, &mut bin).unwrap();
+        assert!(bin.len() * 2 < ascii, "binary {} vs ascii {ascii}", bin.len());
+    }
+
+    #[test]
+    fn binary_rejects_bad_header() {
+        assert!(read_binary(&b"aag 1 1 0 0 0\n"[..]).is_err());
+        assert!(read_binary(&b"aig 3 1 0 0 1\n"[..]).is_err()); // M != I+A
+    }
+
+    #[test]
+    fn folds_redundant_gates_on_read() {
+        // AND(x, x) collapses to x during construction.
+        let aig = parse("aag 2 1 0 1 1\n2\n4\n4 2 2\n").unwrap();
+        assert_eq!(aig.num_ands(), 0);
+    }
+}

@@ -1,0 +1,355 @@
+//! BLIF (Berkeley Logic Interchange Format) writing and reading.
+//!
+//! The writer emits one `.names` table per AND gate (two-input cover with
+//! complemented inputs expressed in the cube), plus buffer/inverter tables
+//! for the outputs — the canonical AIG-in-BLIF convention, accepted by ABC
+//! and friends. The reader handles the same structural subset: `.names`
+//! tables of at most two inputs whose cover is a single cube (or the
+//! constant tables), which is exactly what this writer and ABC's
+//! `write_blif` after `strash` produce.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use crate::{Aig, AigError, AigRead, Lit, NodeId};
+
+/// Writes the graph as structural BLIF.
+///
+/// # Errors
+///
+/// Returns [`AigError::Io`] if the writer fails.
+///
+/// # Example
+///
+/// ```
+/// use dacpara_aig::{blif, Aig};
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let ab = aig.add_and(a, !b);
+/// aig.add_output(ab);
+/// let text = blif::to_string(&aig, "tiny");
+/// assert!(text.contains(".model tiny"));
+/// assert!(text.contains(".names"));
+/// ```
+pub fn write<W: Write>(aig: &Aig, model: &str, mut writer: W) -> Result<(), AigError> {
+    let order = crate::topo::topo_ands(aig);
+    writeln!(writer, ".model {model}")?;
+
+    let input_name = |k: usize| format!("pi{k}");
+    let output_name = |k: usize| format!("po{k}");
+    let mut name_of: HashMap<NodeId, String> = HashMap::new();
+    for (k, &i) in aig.inputs().iter().enumerate() {
+        name_of.insert(i, input_name(k));
+    }
+    for (k, &n) in order.iter().enumerate() {
+        name_of.insert(n, format!("n{k}"));
+    }
+
+    write!(writer, ".inputs")?;
+    for k in 0..aig.num_inputs() {
+        write!(writer, " {}", input_name(k))?;
+    }
+    writeln!(writer)?;
+    write!(writer, ".outputs")?;
+    for k in 0..aig.num_outputs() {
+        write!(writer, " {}", output_name(k))?;
+    }
+    writeln!(writer)?;
+
+    // Constant-zero driver, only if some output needs it.
+    let const_needed = aig.outputs().iter().any(|po| po.node() == NodeId::CONST0);
+    if const_needed {
+        writeln!(writer, ".names const0")?;
+        // Empty cover = constant 0.
+    }
+    let signal = |l: Lit, name_of: &HashMap<NodeId, String>| -> String {
+        if l.node() == NodeId::CONST0 {
+            "const0".to_string()
+        } else {
+            name_of[&l.node()].clone()
+        }
+    };
+
+    for &n in &order {
+        let [a, b] = aig.fanins(n);
+        writeln!(
+            writer,
+            ".names {} {} {}",
+            signal(a, &name_of),
+            signal(b, &name_of),
+            name_of[&n]
+        )?;
+        writeln!(
+            writer,
+            "{}{} 1",
+            if a.is_complement() { '0' } else { '1' },
+            if b.is_complement() { '0' } else { '1' }
+        )?;
+    }
+
+    for (k, &po) in aig.outputs().iter().enumerate() {
+        writeln!(writer, ".names {} {}", signal(po, &name_of), output_name(k))?;
+        writeln!(writer, "{} 1", if po.is_complement() { '0' } else { '1' })?;
+    }
+    writeln!(writer, ".end")?;
+    Ok(())
+}
+
+/// Serializes to a `String` (convenience over [`write()`]).
+pub fn to_string(aig: &Aig, model: &str) -> String {
+    let mut buf = Vec::new();
+    write(aig, model, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("blif output is ascii")
+}
+
+/// Parses the structural-AIG subset of BLIF produced by [`write()`].
+///
+/// Supported tables: zero-input constants, one-input buffers/inverters, and
+/// two-input single-cube AND-like tables. `.latch`, multi-cube covers and
+/// hierarchical `.subckt` are rejected.
+///
+/// # Errors
+///
+/// Returns [`AigError::ParseAiger`] (reused for all netlist parsing) on
+/// unsupported or malformed input.
+pub fn read<R: BufRead>(mut reader: R) -> Result<Aig, AigError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    parse(&text)
+}
+
+/// Parses from a string; see [`read`].
+pub fn parse(text: &str) -> Result<Aig, AigError> {
+    let bad = |msg: String| AigError::ParseAiger(msg);
+
+    // First pass: tokenize into statements (handle `\` continuations).
+    let mut statements: Vec<Vec<String>> = Vec::new();
+    let mut pending = String::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(stripped) = line.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(line);
+        let tokens: Vec<String> = pending.split_whitespace().map(String::from).collect();
+        pending.clear();
+        statements.push(tokens);
+    }
+
+    // Gather structure: inputs, outputs, and .names tables with covers.
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    struct Table {
+        ins: Vec<String>,
+        out: String,
+        cover: Vec<(String, char)>,
+    }
+    let mut tables: Vec<Table> = Vec::new();
+    let mut i = 0;
+    while i < statements.len() {
+        let st = &statements[i];
+        match st[0].as_str() {
+            ".model" | ".end" => i += 1,
+            ".inputs" => {
+                inputs.extend(st[1..].iter().cloned());
+                i += 1;
+            }
+            ".outputs" => {
+                outputs.extend(st[1..].iter().cloned());
+                i += 1;
+            }
+            ".names" => {
+                if st.len() < 2 {
+                    return Err(bad(".names needs at least an output".into()));
+                }
+                let out = st[st.len() - 1].clone();
+                let ins = st[1..st.len() - 1].to_vec();
+                let mut cover = Vec::new();
+                i += 1;
+                while i < statements.len() && !statements[i][0].starts_with('.') {
+                    let row = &statements[i];
+                    let (pattern, value) = match row.len() {
+                        1 => (String::new(), row[0].chars().next().unwrap_or('1')),
+                        2 => (row[0].clone(), row[1].chars().next().unwrap_or('1')),
+                        _ => return Err(bad(format!("bad cover row {row:?}"))),
+                    };
+                    cover.push((pattern, value));
+                    i += 1;
+                }
+                tables.push(Table { ins, out, cover });
+            }
+            ".latch" => return Err(bad("latches are not supported".into())),
+            ".subckt" => return Err(bad("hierarchy is not supported".into())),
+            other => return Err(bad(format!("unsupported directive `{other}`"))),
+        }
+    }
+
+    // Build: topological resolution over the tables.
+    let mut aig = Aig::new();
+    let mut sig: HashMap<String, Lit> = HashMap::new();
+    for name in &inputs {
+        let l = aig.add_input();
+        sig.insert(name.clone(), l);
+    }
+
+    let mut remaining: Vec<Table> = tables;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|t| {
+            if !t.ins.iter().all(|n| sig.contains_key(n)) {
+                return true; // not ready yet
+            }
+            let lit = build_table(&mut aig, t.ins.as_slice(), &t.cover, &sig);
+            match lit {
+                Ok(l) => {
+                    sig.insert(t.out.clone(), l);
+                    false
+                }
+                Err(_) => true, // surfaced below as an unresolved table
+            }
+        });
+        if remaining.len() == before {
+            // No progress: either a combinational loop or an unsupported table.
+            let t = &remaining[0];
+            return Err(bad(format!(
+                "cannot resolve table for `{}` (unsupported cover or cycle)",
+                t.out
+            )));
+        }
+    }
+
+    for name in &outputs {
+        let l = *sig
+            .get(name)
+            .ok_or_else(|| bad(format!("undriven output `{name}`")))?;
+        aig.add_output(l);
+    }
+    Ok(aig)
+}
+
+fn build_table(
+    aig: &mut Aig,
+    ins: &[String],
+    cover: &[(String, char)],
+    sig: &HashMap<String, Lit>,
+) -> Result<Lit, AigError> {
+    let bad = |msg: &str| AigError::ParseAiger(msg.to_string());
+    match (ins.len(), cover.len()) {
+        (0, 0) => Ok(Lit::FALSE),
+        (0, 1) => Ok(if cover[0].1 == '1' { Lit::TRUE } else { Lit::FALSE }),
+        (1, 1) => {
+            let (pattern, value) = &cover[0];
+            let base = sig[&ins[0]];
+            let lit = match pattern.as_str() {
+                "1" => base,
+                "0" => !base,
+                _ => return Err(bad("unsupported one-input cover")),
+            };
+            Ok(if *value == '1' { lit } else { !lit })
+        }
+        (2, 1) => {
+            let (pattern, value) = &cover[0];
+            if pattern.len() != 2 {
+                return Err(bad("two-input cover needs two pattern bits"));
+            }
+            let mut lits = Vec::with_capacity(2);
+            for (k, c) in pattern.chars().enumerate() {
+                let base = sig[&ins[k]];
+                lits.push(match c {
+                    '1' => base,
+                    '0' => !base,
+                    _ => return Err(bad("don't-cares are not supported")),
+                });
+            }
+            let and = aig.add_and(lits[0], lits[1]);
+            Ok(if *value == '1' { and } else { !and })
+        }
+        _ => Err(bad("only single-cube tables of up to two inputs are supported")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let x = aig.add_xor(a, b);
+        let m = aig.add_mux(c, x, !a);
+        aig.add_output(m);
+        aig.add_output(!x);
+        aig
+    }
+
+    /// Minimal single-pattern simulator (the full one lives in the equiv
+    /// crate, which this crate cannot depend on).
+    fn sim(aig: &Aig, inputs: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; aig.slot_count()];
+        for (&i, &v) in aig.inputs().iter().zip(inputs) {
+            values[i.index()] = v;
+        }
+        let val = |l: Lit, values: &[bool]| values[l.node().index()] ^ l.is_complement();
+        for n in crate::topo::topo_ands(aig) {
+            let [a, b] = aig.fanins(n);
+            values[n.index()] = val(a, &values) & val(b, &values);
+        }
+        aig.outputs().iter().map(|&po| val(po, &values)).collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_function() {
+        let aig = sample();
+        let text = to_string(&aig, "sample");
+        let back = parse(&text).unwrap();
+        back.check().unwrap();
+        assert_eq!(back.num_inputs(), aig.num_inputs());
+        assert_eq!(back.num_outputs(), aig.num_outputs());
+        assert_eq!(back.num_ands(), aig.num_ands());
+        // Function check by exhaustive simulation over the 3 inputs.
+        for m in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|k| m >> k & 1 != 0).collect();
+            assert_eq!(sim(&aig, &ins), sim(&back, &ins), "pattern {m:03b}");
+        }
+    }
+
+    #[test]
+    fn constant_outputs_are_expressible() {
+        let mut aig = Aig::new();
+        let _ = aig.add_input();
+        aig.add_output(Lit::FALSE);
+        aig.add_output(Lit::TRUE);
+        let text = to_string(&aig, "consts");
+        let back = parse(&text).unwrap();
+        assert_eq!(back.outputs()[0], Lit::FALSE);
+        assert_eq!(back.outputs()[1], Lit::TRUE);
+    }
+
+    #[test]
+    fn rejects_latches_and_hierarchy() {
+        assert!(parse(".model x\n.latch a b 0\n.end\n").is_err());
+        assert!(parse(".model x\n.subckt sub a=b\n.end\n").is_err());
+    }
+
+    #[test]
+    fn rejects_wide_tables() {
+        let text = ".model x\n.inputs a b c\n.outputs y\n.names a b c y\n111 1\n.end\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn handles_line_continuations_and_comments() {
+        let text = ".model x # a comment\n.inputs \\\na b\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let aig = parse(text).unwrap();
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_ands(), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Structural invariant checker for [`Aig`].
+
+use std::collections::HashMap;
+
+use crate::{Aig, AigError, AigRead, NodeId, NodeKind};
+
+impl Aig {
+    /// Verifies every structural invariant of the graph:
+    ///
+    /// * node 0 is the constant, inputs are live `Input` slots;
+    /// * every AND has sorted fanins pointing at distinct, live, non-constant
+    ///   nodes (strash canonicity);
+    /// * the structural hash table contains exactly the live ANDs;
+    /// * reference counts equal fanout-list lengths plus output references,
+    ///   and fanout lists mirror fanin edges;
+    /// * levels satisfy `level = 1 + max(fanin levels)`;
+    /// * the graph is acyclic;
+    /// * every output literal points at a live node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigError::InvariantViolation`] describing the first
+    /// violation found.
+    pub fn check(&self) -> Result<(), AigError> {
+        let fail = |msg: String| Err(AigError::InvariantViolation(msg));
+
+        if self.kind(NodeId::CONST0) != NodeKind::Const0 {
+            return fail("node 0 is not the constant".into());
+        }
+        for &i in self.inputs() {
+            if self.kind(i) != NodeKind::Input {
+                return fail(format!("input list entry {i:?} is not an Input node"));
+            }
+        }
+
+        // Recompute refs/po_refs/fanouts from scratch.
+        let slots = self.slot_count();
+        let mut refs = vec![0u32; slots];
+        let mut po_refs = vec![0u32; slots];
+        let mut fanout_edges: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+        let mut live_ands = 0usize;
+
+        for i in 0..slots {
+            let n = NodeId::new(i as u32);
+            if self.kind(n) != NodeKind::And {
+                continue;
+            }
+            live_ands += 1;
+            let [a, b] = self.fanins(n);
+            if a > b {
+                return fail(format!("{n:?}: fanins not sorted ({a:?}, {b:?})"));
+            }
+            if a.is_const() || b.is_const() {
+                return fail(format!("{n:?}: constant fanin"));
+            }
+            if a.node() == b.node() {
+                return fail(format!("{n:?}: duplicate fanin node"));
+            }
+            for l in [a, b] {
+                if !self.is_alive(l.node()) {
+                    return fail(format!("{n:?}: dead fanin {l:?}"));
+                }
+                refs[l.node().index()] += 1;
+                *fanout_edges.entry((l.node(), n)).or_insert(0) += 1;
+            }
+            let want = 1 + self.level(a.node()).max(self.level(b.node()));
+            if self.level(n) != want {
+                return fail(format!(
+                    "{n:?}: level {} but fanins imply {want}",
+                    self.level(n)
+                ));
+            }
+            match self.find_and(a, b) {
+                Some(owner) if owner == n => {}
+                Some(owner) => {
+                    return fail(format!("{n:?}: strash entry owned by {owner:?}"));
+                }
+                None => return fail(format!("{n:?}: missing from strash")),
+            }
+        }
+
+        if self.strash_map().len() != live_ands {
+            return fail(format!(
+                "strash has {} entries but {live_ands} live ANDs",
+                self.strash_map().len()
+            ));
+        }
+
+        for &po in self.outputs() {
+            if !self.is_alive(po.node()) {
+                return fail(format!("output {po:?} points at a dead node"));
+            }
+            refs[po.node().index()] += 1;
+            po_refs[po.node().index()] += 1;
+        }
+
+        for i in 0..slots {
+            let n = NodeId::new(i as u32);
+            if !self.is_alive(n) {
+                if !self.fanouts(n).is_empty() {
+                    return fail(format!("dead slot {n:?} has fanouts"));
+                }
+                continue;
+            }
+            let node = self.node(n);
+            if node.refs != refs[i] {
+                return fail(format!(
+                    "{n:?}: stored refs {} but recomputed {}",
+                    node.refs, refs[i]
+                ));
+            }
+            if node.po_refs != po_refs[i] {
+                return fail(format!(
+                    "{n:?}: stored po_refs {} but recomputed {}",
+                    node.po_refs, po_refs[i]
+                ));
+            }
+            // Fanout list must mirror fanin edges with multiplicity.
+            let mut counted: HashMap<NodeId, u32> = HashMap::new();
+            for &f in self.fanouts(n) {
+                *counted.entry(f).or_insert(0) += 1;
+            }
+            for (f, c) in &counted {
+                if fanout_edges.get(&(n, *f)).copied().unwrap_or(0) != *c {
+                    return fail(format!("{n:?}: fanout list entry {f:?} not a fanin edge"));
+                }
+            }
+            let edge_total: u32 = fanout_edges
+                .iter()
+                .filter(|((src, _), _)| *src == n)
+                .map(|(_, c)| *c)
+                .sum();
+            if edge_total != self.fanouts(n).len() as u32 {
+                return fail(format!(
+                    "{n:?}: {} fanout entries but {edge_total} fanin edges",
+                    self.fanouts(n).len()
+                ));
+            }
+        }
+
+        // Acyclicity: DFS with colors.
+        let mut color = vec![0u8; slots]; // 0 white, 1 grey, 2 black
+        for i in 0..slots {
+            let root = NodeId::new(i as u32);
+            if self.kind(root) != NodeKind::And || color[i] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
+            while let Some((n, done)) = stack.pop() {
+                if done {
+                    color[n.index()] = 2;
+                    continue;
+                }
+                match color[n.index()] {
+                    1 => return fail(format!("cycle through {n:?}")),
+                    2 => continue,
+                    _ => {}
+                }
+                color[n.index()] = 1;
+                stack.push((n, true));
+                for l in self.fanins(n) {
+                    let v = l.node();
+                    if self.kind(v) == NodeKind::And {
+                        match color[v.index()] {
+                            0 => stack.push((v, false)),
+                            1 => return fail(format!("cycle through {v:?}")),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(())
+    }
+}
+
+/// Checks two views for identical I/O shape (same number of inputs and
+/// outputs) — a precondition for equivalence checking.
+pub fn same_interface<A: AigRead + ?Sized, B: AigRead + ?Sized>(a: &A, b: &B) -> bool {
+    a.input_ids().len() == b.input_ids().len() && a.output_lits().len() == b.output_lits().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lit;
+
+    #[test]
+    fn fresh_graph_checks() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let ab = aig.add_and(a, b);
+        aig.add_output(ab);
+        aig.check().unwrap();
+    }
+
+    #[test]
+    fn check_after_heavy_rewriting() {
+        let mut aig = Aig::new();
+        let ins: Vec<_> = (0..8).map(|_| aig.add_input()).collect();
+        let mut acc = Lit::TRUE;
+        for w in ins.windows(2) {
+            let x = aig.add_xor(w[0], w[1]);
+            acc = aig.add_and(acc, x);
+        }
+        aig.add_output(acc);
+        aig.check().unwrap();
+        // Replace a mid node by a constant and re-check.
+        let victim = aig.and_ids().nth(3).unwrap();
+        aig.replace(victim, Lit::TRUE);
+        aig.cleanup();
+        aig.check().unwrap();
+    }
+
+    #[test]
+    fn same_interface_detects_shape() {
+        let mut a = Aig::new();
+        let x = a.add_input();
+        a.add_output(x);
+        let mut b = Aig::new();
+        let y = b.add_input();
+        b.add_output(!y);
+        assert!(same_interface(&a, &b));
+        b.add_output(y);
+        assert!(!same_interface(&a, &b));
+    }
+}

@@ -1,0 +1,696 @@
+//! A fixed-capacity AIG whose node fields can be read without locks.
+//!
+//! [`ConcurrentAig`] backs the parallel rewriting engines. Its design
+//! follows the paper's requirements:
+//!
+//! * **Lock-free reads everywhere** — every node field is an atomic, and the
+//!   per-node fanout lists sit behind lightweight reader/writer locks, so
+//!   the evaluation stage (§4.3 of the paper, >90% of the runtime) runs with
+//!   *no exclusive locks at all*.
+//! * **Decentralized structural hashing** — [`ConcurrentAig::find_and`]
+//!   scans the fanout list of one fanin instead of probing a global hash
+//!   table, the scheme adopted from ICCAD'18.
+//! * **Galois-style mutation discipline** — mutating calls
+//!   ([`ConcurrentAig::add_and_locked`], [`ConcurrentAig::replace_locked`])
+//!   expect the caller to hold the engine's exclusive per-node locks over
+//!   every node they touch. The structure itself stays memory-safe without
+//!   them (all state is atomic or lock-guarded), but logical consistency —
+//!   reference counts, canonicity — relies on the discipline.
+//! * **Slot recycling with generations** — like the serial [`Aig`], freed
+//!   slots are reused and their generation counter bumped, reproducing the
+//!   stored-cut invalidation of Fig. 3.
+//!
+//! Replacements performed in parallel do not cascade structural merges (that
+//! would require locking an unbounded fanout frontier mid-mutation).
+//! Instead, fanouts whose fanin pair may have become foldable or duplicated
+//! are queued, and [`ConcurrentAig::canonicalize`] — called serially at the
+//! engine's synchronization points (between level worklists) — restores full
+//! strash canonicity. The graph is functionally correct at every instant
+//! either way.
+
+use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::{Aig, AigError, AigRead, Lit, NodeId, NodeKind};
+
+const ORD_LOAD: Ordering = Ordering::Acquire;
+const ORD_STORE: Ordering = Ordering::Release;
+
+/// Atomic per-node storage.
+struct CNode {
+    fanin0: AtomicU32,
+    fanin1: AtomicU32,
+    refs: AtomicU32,
+    po_refs: AtomicU32,
+    gen: AtomicU32,
+    level: AtomicU32,
+    kind: AtomicU8,
+    /// Bit 0: queued for canonicalization.
+    flags: AtomicU8,
+}
+
+impl CNode {
+    fn free() -> CNode {
+        CNode {
+            fanin0: AtomicU32::new(0),
+            fanin1: AtomicU32::new(0),
+            refs: AtomicU32::new(0),
+            po_refs: AtomicU32::new(0),
+            gen: AtomicU32::new(0),
+            level: AtomicU32::new(0),
+            kind: AtomicU8::new(NodeKind::Free.to_u8()),
+            flags: AtomicU8::new(0),
+        }
+    }
+}
+
+/// Shared-memory AIG for the parallel rewriting engines.
+///
+/// Create one from a serial graph with [`ConcurrentAig::from_aig`], run a
+/// parallel pass against it, then convert back with
+/// [`ConcurrentAig::to_aig`].
+///
+/// # Example
+///
+/// ```
+/// use dacpara_aig::{Aig, AigRead, concurrent::ConcurrentAig};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let ab = aig.add_and(a, b);
+/// aig.add_output(ab);
+/// let shared = ConcurrentAig::from_aig(&aig, 1.5);
+/// assert_eq!(shared.num_ands(), 1);
+/// let back = shared.to_aig();
+/// assert_eq!(back.num_ands(), 1);
+/// ```
+pub struct ConcurrentAig {
+    nodes: Box<[CNode]>,
+    fanouts: Box<[RwLock<Vec<NodeId>>]>,
+    inputs: Vec<NodeId>,
+    outputs: Mutex<Vec<Lit>>,
+    free: Mutex<Vec<NodeId>>,
+    pending: Mutex<Vec<NodeId>>,
+    num_ands: AtomicUsize,
+    next_fresh: AtomicUsize,
+}
+
+impl ConcurrentAig {
+    /// Builds a concurrent copy of `aig` with `headroom >= 1.0` times its
+    /// slot count reserved (rewriting transiently allocates new nodes before
+    /// deleting the old cone, so some slack is required).
+    ///
+    /// Live nodes are renumbered compactly: constant, inputs, then ANDs in
+    /// topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headroom < 1.0`.
+    pub fn from_aig(aig: &Aig, headroom: f64) -> ConcurrentAig {
+        assert!(headroom >= 1.0, "headroom must be at least 1.0");
+        let live = 1 + aig.num_inputs() + aig.num_ands();
+        let capacity = ((live as f64 * headroom) as usize).max(live) + 64;
+
+        let nodes: Box<[CNode]> = (0..capacity).map(|_| CNode::free()).collect();
+        let fanouts: Box<[RwLock<Vec<NodeId>>]> =
+            (0..capacity).map(|_| RwLock::new(Vec::new())).collect();
+        let shared = ConcurrentAig {
+            nodes,
+            fanouts,
+            inputs: Vec::new(),
+            outputs: Mutex::new(Vec::new()),
+            free: Mutex::new(Vec::new()),
+            pending: Mutex::new(Vec::new()),
+            num_ands: AtomicUsize::new(0),
+            next_fresh: AtomicUsize::new(0),
+        };
+        let mut shared = shared;
+
+        // Slot 0: constant.
+        shared.nodes[0].kind.store(NodeKind::Const0.to_u8(), ORD_STORE);
+        shared.next_fresh.store(1, Ordering::Relaxed);
+
+        let mut map: Vec<Lit> = vec![Lit::FALSE; aig.slot_count()];
+        for &inp in aig.inputs() {
+            let slot = shared.next_fresh.fetch_add(1, Ordering::Relaxed);
+            let id = NodeId::new(slot as u32);
+            shared.nodes[slot].kind.store(NodeKind::Input.to_u8(), ORD_STORE);
+            shared.inputs.push(id);
+            map[inp.index()] = id.lit();
+        }
+        for n in crate::topo::topo_ands(aig) {
+            let [a, b] = aig.fanins(n);
+            let ma = map[a.node().index()].xor(a.is_complement());
+            let mb = map[b.node().index()].xor(b.is_complement());
+            let (ma, mb) = if ma <= mb { (ma, mb) } else { (mb, ma) };
+            let slot = shared.next_fresh.fetch_add(1, Ordering::Relaxed);
+            let id = NodeId::new(slot as u32);
+            let node = &shared.nodes[slot];
+            node.kind.store(NodeKind::And.to_u8(), ORD_STORE);
+            node.fanin0.store(ma.raw(), Ordering::Relaxed);
+            node.fanin1.store(mb.raw(), Ordering::Relaxed);
+            let level = 1 + shared
+                .level(ma.node())
+                .max(shared.level(mb.node()));
+            node.level.store(level, Ordering::Relaxed);
+            for l in [ma, mb] {
+                shared.fanouts[l.node().index()].get_mut().push(id);
+                shared.nodes[l.node().index()].refs.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.num_ands.fetch_add(1, Ordering::Relaxed);
+            map[n.index()] = id.lit();
+        }
+        {
+            let mut outs = shared.outputs.lock();
+            for &po in aig.outputs() {
+                let l = map[po.node().index()].xor(po.is_complement());
+                outs.push(l);
+                shared.nodes[l.node().index()].refs.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .nodes[l.node().index()]
+                    .po_refs
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shared
+    }
+
+    /// Total number of node slots in the arena.
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Converts back to a compact serial [`Aig`] (folds any residual
+    /// non-canonical gates through [`Aig::add_and`]).
+    pub fn to_aig(&self) -> Aig {
+        let mut aig = Aig::with_capacity(self.num_ands() + self.inputs.len() + 1);
+        let mut map: Vec<Lit> = vec![Lit::FALSE; self.capacity()];
+        for &inp in &self.inputs {
+            map[inp.index()] = aig.add_input();
+        }
+        for n in crate::topo::topo_ands(self) {
+            let [a, b] = self.fanins(n);
+            let ma = map[a.node().index()].xor(a.is_complement());
+            let mb = map[b.node().index()].xor(b.is_complement());
+            map[n.index()] = aig.add_and(ma, mb);
+        }
+        for po in self.output_lits() {
+            let l = map[po.node().index()].xor(po.is_complement());
+            aig.add_output(l);
+        }
+        aig
+    }
+
+    fn alloc_slot(&self) -> Result<NodeId, AigError> {
+        if let Some(id) = self.free.lock().pop() {
+            return Ok(id);
+        }
+        let slot = self.next_fresh.fetch_add(1, Ordering::Relaxed);
+        if slot >= self.nodes.len() {
+            // Undo so repeated failures don't wrap.
+            self.next_fresh.fetch_sub(1, Ordering::Relaxed);
+            return Err(AigError::CapacityExhausted {
+                capacity: self.nodes.len(),
+            });
+        }
+        Ok(NodeId::new(slot as u32))
+    }
+
+    /// Like [`AigRead::find_and`] but never returns `exclude` — needed when
+    /// probing whether a node duplicates *another* node.
+    pub fn find_and_excluding(&self, f0: Lit, f1: Lit, exclude: NodeId) -> Option<NodeId> {
+        let (a, b) = if f0 <= f1 { (f0, f1) } else { (f1, f0) };
+        // Scan whichever fanin has the shorter fanout list (high-fanout
+        // nodes would otherwise dominate the decentralized lookup cost).
+        let scan = if self.fanouts[a.node().index()].read().len()
+            <= self.fanouts[b.node().index()].read().len()
+        {
+            a.node()
+        } else {
+            b.node()
+        };
+        let guard = self.fanouts[scan.index()].read();
+        for &cand in guard.iter() {
+            if cand == exclude || self.kind(cand) != NodeKind::And {
+                continue;
+            }
+            let ca = Lit::from_raw(self.nodes[cand.index()].fanin0.load(ORD_LOAD));
+            let cb = Lit::from_raw(self.nodes[cand.index()].fanin1.load(ORD_LOAD));
+            if (ca, cb) == (a, b) {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// Creates (or finds) the AND of `a` and `b`.
+    ///
+    /// Lock discipline: the caller must hold the engine's exclusive locks on
+    /// `a.node()` and `b.node()` (their fanout lists are probed and then
+    /// extended, which must not race with other structural lookups on the
+    /// same nodes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigError::CapacityExhausted`] when the arena is full.
+    pub fn add_and_locked(&self, a: Lit, b: Lit) -> Result<Lit, AigError> {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(l) = Aig::fold_and(a, b) {
+            return Ok(l);
+        }
+        if let Some(n) = self.find_and(a, b) {
+            return Ok(n.lit());
+        }
+        let id = self.alloc_slot()?;
+        let node = &self.nodes[id.index()];
+        node.fanin0.store(a.raw(), Ordering::Relaxed);
+        node.fanin1.store(b.raw(), Ordering::Relaxed);
+        node.refs.store(0, Ordering::Relaxed);
+        node.po_refs.store(0, Ordering::Relaxed);
+        let level = 1 + self.level(a.node()).max(self.level(b.node()));
+        node.level.store(level, Ordering::Relaxed);
+        node.gen.fetch_add(1, Ordering::AcqRel);
+        node.kind.store(NodeKind::And.to_u8(), ORD_STORE);
+        for l in [a, b] {
+            self.fanouts[l.node().index()].write().push(id);
+            self.nodes[l.node().index()].refs.fetch_add(1, Ordering::AcqRel);
+        }
+        self.num_ands.fetch_add(1, Ordering::AcqRel);
+        Ok(id.lit())
+    }
+
+    /// Replaces every use of `old` by the literal `new` and deletes the part
+    /// of `old`'s fanin cone that becomes dangling.
+    ///
+    /// Lock discipline: the caller must hold exclusive locks on `old`, its
+    /// fanouts, every node of its (cut-bounded) MFFC and the MFFC boundary
+    /// nodes whose reference counts change — exactly the "relevant nodes" of
+    /// the paper's replacement operator.
+    ///
+    /// Structural merges exposed by the edge moves are queued for the next
+    /// [`ConcurrentAig::canonicalize`] instead of cascading immediately.
+    pub fn replace_locked(&self, old: NodeId, new: Lit) {
+        debug_assert_eq!(self.kind(old), NodeKind::And);
+        debug_assert!(self.is_alive(new.node()));
+        if new.node() == old {
+            return;
+        }
+        // Pin `new` so cone deletion cannot reclaim it.
+        self.nodes[new.node().index()].refs.fetch_add(1, Ordering::AcqRel);
+        self.move_fanout_edges(old, new);
+        if self.nodes[old.index()].refs.load(ORD_LOAD) == 0 {
+            self.delete_cone(old);
+        }
+        self.nodes[new.node().index()].refs.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn move_fanout_edges(&self, o: NodeId, t: Lit) {
+        loop {
+            let f = {
+                let mut guard = self.fanouts[o.index()].write();
+                match guard.pop() {
+                    Some(f) => f,
+                    None => break,
+                }
+            };
+            self.nodes[o.index()].refs.fetch_sub(1, Ordering::AcqRel);
+            let node = &self.nodes[f.index()];
+            let f0 = Lit::from_raw(node.fanin0.load(ORD_LOAD));
+            let f1 = Lit::from_raw(node.fanin1.load(ORD_LOAD));
+            let (mut a, mut b) = (f0, f1);
+            if a.node() == o {
+                a = t.xor(a.is_complement());
+            } else {
+                debug_assert_eq!(b.node(), o);
+                b = t.xor(b.is_complement());
+            }
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            node.fanin0.store(a.raw(), Ordering::Relaxed);
+            node.fanin1.store(b.raw(), Ordering::Relaxed);
+            node.gen.fetch_add(1, Ordering::AcqRel);
+            self.fanouts[t.node().index()].write().push(f);
+            self.nodes[t.node().index()].refs.fetch_add(1, Ordering::AcqRel);
+            self.mark_pending(f);
+        }
+        if self.nodes[o.index()].po_refs.load(ORD_LOAD) > 0 {
+            let mut outs = self.outputs.lock();
+            let mut moved = 0u32;
+            for po in outs.iter_mut() {
+                if po.node() == o {
+                    *po = t.xor(po.is_complement());
+                    moved += 1;
+                }
+            }
+            drop(outs);
+            if moved > 0 {
+                self.nodes[o.index()].refs.fetch_sub(moved, Ordering::AcqRel);
+                self.nodes[o.index()].po_refs.fetch_sub(moved, Ordering::AcqRel);
+                self.nodes[t.node().index()].refs.fetch_add(moved, Ordering::AcqRel);
+                self.nodes[t.node().index()]
+                    .po_refs
+                    .fetch_add(moved, Ordering::AcqRel);
+            }
+        }
+    }
+
+    fn mark_pending(&self, n: NodeId) {
+        let prev = self.nodes[n.index()].flags.fetch_or(1, Ordering::AcqRel);
+        if prev & 1 == 0 {
+            self.pending.lock().push(n);
+        }
+    }
+
+    /// Deletes the dangling node `root` (refs == 0) and, transitively, every
+    /// fanin that becomes dangling. Same lock discipline as
+    /// [`ConcurrentAig::replace_locked`].
+    pub fn delete_cone(&self, root: NodeId) {
+        debug_assert_eq!(self.nodes[root.index()].refs.load(ORD_LOAD), 0);
+        debug_assert_eq!(self.kind(root), NodeKind::And);
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n.index()];
+            let f0 = Lit::from_raw(node.fanin0.load(ORD_LOAD));
+            let f1 = Lit::from_raw(node.fanin1.load(ORD_LOAD));
+            for l in [f0, f1] {
+                let v = l.node();
+                {
+                    let mut guard = self.fanouts[v.index()].write();
+                    let pos = guard
+                        .iter()
+                        .position(|&x| x == n)
+                        .expect("fanout lists out of sync");
+                    guard.swap_remove(pos);
+                }
+                let prev = self.nodes[v.index()].refs.fetch_sub(1, Ordering::AcqRel);
+                if prev == 1 && self.kind(v) == NodeKind::And {
+                    stack.push(v);
+                }
+            }
+            node.kind.store(NodeKind::Free.to_u8(), ORD_STORE);
+            node.gen.fetch_add(1, Ordering::AcqRel);
+            self.num_ands.fetch_sub(1, Ordering::AcqRel);
+            self.free.lock().push(n);
+        }
+    }
+
+    /// Restores strash canonicity by folding/merging every queued node, with
+    /// full cascading. **Must be called from a single thread while no
+    /// parallel operators are running** (the engines call it between level
+    /// worklists). Returns the number of nodes eliminated.
+    pub fn canonicalize(&self) -> usize {
+        let before = self.num_ands();
+        loop {
+            let batch: Vec<NodeId> = std::mem::take(&mut *self.pending.lock());
+            if batch.is_empty() {
+                break;
+            }
+            for f in batch {
+                self.nodes[f.index()].flags.fetch_and(!1, Ordering::AcqRel);
+                if self.kind(f) != NodeKind::And {
+                    continue;
+                }
+                let a = Lit::from_raw(self.nodes[f.index()].fanin0.load(ORD_LOAD));
+                let b = Lit::from_raw(self.nodes[f.index()].fanin1.load(ORD_LOAD));
+                let target = if let Some(t) = Aig::fold_and(a, b) {
+                    Some(t)
+                } else {
+                    self.find_and_excluding(a, b, f).map(NodeId::lit)
+                };
+                if let Some(t) = target {
+                    self.nodes[t.node().index()].refs.fetch_add(1, Ordering::AcqRel);
+                    self.move_fanout_edges(f, t);
+                    debug_assert_eq!(self.nodes[f.index()].refs.load(ORD_LOAD), 0);
+                    self.delete_cone(f);
+                    self.nodes[t.node().index()].refs.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+        }
+        before - self.num_ands()
+    }
+
+    /// Number of nodes currently queued for canonicalization.
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Recomputes every level from scratch. Call from a single thread at a
+    /// synchronization point.
+    pub fn recompute_levels(&self) {
+        for n in crate::topo::topo_ands(self) {
+            let [a, b] = self.fanins(n);
+            let level = 1 + self.level(a.node()).max(self.level(b.node()));
+            self.nodes[n.index()].level.store(level, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes every dangling AND node. Call from a single thread.
+    pub fn cleanup(&self) -> usize {
+        let before = self.num_ands();
+        for i in 0..self.capacity() {
+            let n = NodeId::new(i as u32);
+            if self.kind(n) == NodeKind::And && self.refs(n) == 0 {
+                self.delete_cone(n);
+            }
+        }
+        before - self.num_ands()
+    }
+
+    /// Verifies the structural invariants via conversion: the compact
+    /// serial copy must pass [`Aig::check`], and the bookkeeping counters
+    /// must be internally consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigError::InvariantViolation`] on the first mismatch.
+    pub fn check(&self) -> Result<(), AigError> {
+        let mut refs = vec![0u32; self.capacity()];
+        for i in 0..self.capacity() {
+            let n = NodeId::new(i as u32);
+            if self.kind(n) != NodeKind::And {
+                continue;
+            }
+            for l in self.fanins(n) {
+                if !self.is_alive(l.node()) {
+                    return Err(AigError::InvariantViolation(format!(
+                        "{n:?} has dead fanin {l:?}"
+                    )));
+                }
+                refs[l.node().index()] += 1;
+            }
+        }
+        for po in self.output_lits() {
+            refs[po.node().index()] += 1;
+        }
+        for i in 0..self.capacity() {
+            let n = NodeId::new(i as u32);
+            if self.is_alive(n) && self.refs(n) != refs[i] {
+                return Err(AigError::InvariantViolation(format!(
+                    "{n:?}: stored refs {} recomputed {}",
+                    self.refs(n),
+                    refs[i]
+                )));
+            }
+        }
+        self.to_aig().check()
+    }
+}
+
+impl AigRead for ConcurrentAig {
+    fn slot_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn kind(&self, n: NodeId) -> NodeKind {
+        NodeKind::from_u8(self.nodes[n.index()].kind.load(ORD_LOAD))
+    }
+
+    fn fanins(&self, n: NodeId) -> [Lit; 2] {
+        let node = &self.nodes[n.index()];
+        [
+            Lit::from_raw(node.fanin0.load(ORD_LOAD)),
+            Lit::from_raw(node.fanin1.load(ORD_LOAD)),
+        ]
+    }
+
+    fn refs(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].refs.load(ORD_LOAD)
+    }
+
+    fn generation(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].gen.load(ORD_LOAD)
+    }
+
+    fn level(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].level.load(ORD_LOAD)
+    }
+
+    fn find_and(&self, f0: Lit, f1: Lit) -> Option<NodeId> {
+        self.find_and_excluding(f0, f1, NodeId::CONST0)
+    }
+
+    fn input_ids(&self) -> Vec<NodeId> {
+        self.inputs.clone()
+    }
+
+    fn output_lits(&self) -> Vec<Lit> {
+        self.outputs.lock().clone()
+    }
+
+    fn num_ands(&self) -> usize {
+        self.num_ands.load(ORD_LOAD)
+    }
+
+    fn fanout_ids(&self, n: NodeId) -> Vec<NodeId> {
+        self.fanouts[n.index()].read().clone()
+    }
+}
+
+impl std::fmt::Debug for ConcurrentAig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentAig")
+            .field("capacity", &self.capacity())
+            .field("inputs", &self.inputs.len())
+            .field("outputs", &self.outputs.lock().len())
+            .field("num_ands", &self.num_ands())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Aig, Lit, Lit, Lit) {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let x = aig.add_xor(a, b);
+        let m = aig.add_mux(c, x, a);
+        aig.add_output(m);
+        (aig, a, b, c)
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let (aig, ..) = sample();
+        let shared = ConcurrentAig::from_aig(&aig, 1.5);
+        shared.check().unwrap();
+        let back = shared.to_aig();
+        back.check().unwrap();
+        assert_eq!(back.num_ands(), aig.num_ands());
+        assert_eq!(back.num_inputs(), aig.num_inputs());
+        assert_eq!(back.num_outputs(), aig.num_outputs());
+    }
+
+    #[test]
+    fn decentralized_lookup_matches_serial() {
+        let (aig, ..) = sample();
+        let shared = ConcurrentAig::from_aig(&aig, 1.5);
+        for i in 0..shared.capacity() {
+            let n = NodeId::new(i as u32);
+            if shared.kind(n) == NodeKind::And {
+                let [a, b] = shared.fanins(n);
+                assert_eq!(shared.find_and(a, b), Some(n));
+                assert_eq!(shared.find_and(b, a), Some(n));
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_locked_reuses_and_creates() {
+        let (aig, ..) = sample();
+        let shared = ConcurrentAig::from_aig(&aig, 2.0);
+        let ins = shared.input_ids();
+        let (a, b) = (ins[0].lit(), ins[1].lit());
+        let before = shared.num_ands();
+        // AND(a, b) exists inside the XOR already? Not directly: XOR is built
+        // from AND(a,!b), AND(!a,b) — so AND(a,b) is new.
+        let fresh = shared.add_and_locked(a, b).unwrap();
+        assert_eq!(shared.num_ands(), before + 1);
+        let again = shared.add_and_locked(b, a).unwrap();
+        assert_eq!(fresh, again);
+        assert_eq!(shared.num_ands(), before + 1);
+        assert_eq!(shared.add_and_locked(a, Lit::TRUE).unwrap(), a);
+    }
+
+    #[test]
+    fn replace_locked_moves_fanouts_and_canonicalize_merges() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ac = aig.add_and(a, c);
+        let bc = aig.add_and(b, c);
+        let top = aig.add_and(ac, bc);
+        aig.add_output(top);
+        let shared = ConcurrentAig::from_aig(&aig, 2.0);
+
+        // Find the concurrent ids of ac/bc via lookup.
+        let ins = shared.input_ids();
+        let (ca, cb, cc) = (ins[0].lit(), ins[1].lit(), ins[2].lit());
+        let sac = shared.find_and(ca, cc).unwrap();
+        let sbc = shared.find_and(cb, cc).unwrap();
+
+        // Replace bc by ac: the top AND folds to ac, PO must follow.
+        shared.replace_locked(sbc, sac.lit());
+        assert!(shared.pending_len() > 0);
+        let merged = shared.canonicalize();
+        assert!(merged >= 1);
+        shared.check().unwrap();
+        assert_eq!(shared.num_ands(), 1);
+        assert_eq!(shared.output_lits()[0], sac.lit());
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let ab = aig.add_and(a, b);
+        aig.add_output(ab);
+        let shared = ConcurrentAig::from_aig(&aig, 2.0);
+        let ins = shared.input_ids();
+        let sab = shared.find_and(ins[0].lit(), ins[1].lit()).unwrap();
+        let gen0 = shared.generation(sab);
+        shared.replace_locked(sab, ins[0].lit());
+        assert!(!shared.is_alive(sab));
+        assert!(shared.generation(sab) > gen0);
+        // The freed slot is recycled by the next allocation (LIFO free list),
+        // reproducing the ID-reuse hazard of the paper's Fig. 3.
+        let fresh = shared.add_and_locked(!ins[0].lit(), ins[1].lit()).unwrap();
+        assert_eq!(fresh.node(), sab);
+        assert!(shared.generation(sab) > gen0);
+        shared.canonicalize();
+        shared.cleanup();
+        shared.check().unwrap();
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_reported() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let ab = aig.add_and(a, b);
+        aig.add_output(ab);
+        let shared = ConcurrentAig::from_aig(&aig, 1.0);
+        let ins = shared.input_ids();
+        // Fill the tiny headroom until exhaustion.
+        let mut lit = ins[0].lit();
+        let mut saw_exhaustion = false;
+        for i in 0..200u32 {
+            let other = if i % 2 == 0 { ins[1].lit() } else { !ins[1].lit() };
+            match shared.add_and_locked(lit, other) {
+                Ok(l) => lit = l,
+                Err(AigError::CapacityExhausted { .. }) => {
+                    saw_exhaustion = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_exhaustion);
+    }
+}

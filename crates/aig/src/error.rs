@@ -1,0 +1,40 @@
+use std::fmt;
+
+/// Errors reported by AIG construction, validation and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AigError {
+    /// The structural invariant checker found a violation.
+    InvariantViolation(String),
+    /// A fixed-capacity (concurrent) AIG ran out of node slots.
+    CapacityExhausted {
+        /// Number of slots the arena was created with.
+        capacity: usize,
+    },
+    /// An AIGER file could not be parsed.
+    ParseAiger(String),
+    /// An I/O error occurred while reading or writing a file.
+    Io(String),
+}
+
+impl fmt::Display for AigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigError::InvariantViolation(msg) => write!(f, "aig invariant violation: {msg}"),
+            AigError::CapacityExhausted { capacity } => write!(
+                f,
+                "concurrent aig arena exhausted its {capacity} node slots; \
+                 rebuild it with a larger headroom factor"
+            ),
+            AigError::ParseAiger(msg) => write!(f, "invalid aiger input: {msg}"),
+            AigError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AigError {}
+
+impl From<std::io::Error> for AigError {
+    fn from(e: std::io::Error) -> Self {
+        AigError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,246 @@
+//! One-way exporters: structural Verilog and Graphviz DOT.
+//!
+//! Both formats are write-only conveniences — Verilog for handing optimized
+//! netlists to downstream tools, DOT for eyeballing small graphs.
+
+use std::io::Write;
+
+use crate::{Aig, AigError, AigRead, Lit, NodeId};
+
+/// Writes the graph as a structural Verilog module (one `assign` per AND,
+/// inverters folded into the expressions).
+///
+/// # Errors
+///
+/// Returns [`AigError::Io`] if the writer fails.
+///
+/// # Example
+///
+/// ```
+/// use dacpara_aig::{export, Aig};
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let ab = aig.add_and(a, !b);
+/// aig.add_output(!ab);
+/// let v = export::verilog_to_string(&aig, "tiny");
+/// assert!(v.contains("module tiny"));
+/// assert!(v.contains("assign"));
+/// ```
+pub fn write_verilog<W: Write>(aig: &Aig, module: &str, mut writer: W) -> Result<(), AigError> {
+    let order = crate::topo::topo_ands(aig);
+    let mut name: Vec<String> = vec![String::new(); aig.slot_count()];
+    for (k, &i) in aig.inputs().iter().enumerate() {
+        name[i.index()] = format!("pi{k}");
+    }
+    for (k, &n) in order.iter().enumerate() {
+        name[n.index()] = format!("n{k}");
+    }
+    let expr = |l: Lit, name: &[String]| -> String {
+        if l.node() == NodeId::CONST0 {
+            return if l.is_complement() { "1'b1" } else { "1'b0" }.to_string();
+        }
+        let base = &name[l.node().index()];
+        if l.is_complement() {
+            format!("~{base}")
+        } else {
+            base.clone()
+        }
+    };
+
+    write!(writer, "module {module}(")?;
+    let mut ports: Vec<String> = (0..aig.num_inputs()).map(|k| format!("pi{k}")).collect();
+    ports.extend((0..aig.num_outputs()).map(|k| format!("po{k}")));
+    writeln!(writer, "{});", ports.join(", "))?;
+    for k in 0..aig.num_inputs() {
+        writeln!(writer, "  input pi{k};")?;
+    }
+    for k in 0..aig.num_outputs() {
+        writeln!(writer, "  output po{k};")?;
+    }
+    for &n in &order {
+        writeln!(writer, "  wire {};", name[n.index()])?;
+    }
+    for &n in &order {
+        let [a, b] = aig.fanins(n);
+        writeln!(
+            writer,
+            "  assign {} = {} & {};",
+            name[n.index()],
+            expr(a, &name),
+            expr(b, &name)
+        )?;
+    }
+    for (k, &po) in aig.outputs().iter().enumerate() {
+        writeln!(writer, "  assign po{k} = {};", expr(po, &name))?;
+    }
+    writeln!(writer, "endmodule")?;
+    Ok(())
+}
+
+/// Serializes to a Verilog `String` (convenience over [`write_verilog`]).
+pub fn verilog_to_string(aig: &Aig, module: &str) -> String {
+    let mut buf = Vec::new();
+    write_verilog(aig, module, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("verilog output is ascii")
+}
+
+/// Writes the graph as Graphviz DOT (dashed edges are complemented).
+///
+/// # Errors
+///
+/// Returns [`AigError::Io`] if the writer fails.
+pub fn write_dot<W: Write>(aig: &Aig, mut writer: W) -> Result<(), AigError> {
+    writeln!(writer, "digraph aig {{")?;
+    writeln!(writer, "  rankdir=BT;")?;
+    for (k, &i) in aig.inputs().iter().enumerate() {
+        writeln!(
+            writer,
+            "  n{} [label=\"pi{k}\", shape=triangle];",
+            i.raw()
+        )?;
+    }
+    for n in crate::topo::topo_ands(aig) {
+        writeln!(writer, "  n{} [label=\"&\", shape=circle];", n.raw())?;
+        for l in aig.fanins(n) {
+            writeln!(
+                writer,
+                "  n{} -> n{}{};",
+                l.node().raw(),
+                n.raw(),
+                if l.is_complement() { " [style=dashed]" } else { "" }
+            )?;
+        }
+    }
+    for (k, &po) in aig.outputs().iter().enumerate() {
+        writeln!(writer, "  po{k} [shape=invtriangle];")?;
+        writeln!(
+            writer,
+            "  n{} -> po{k}{};",
+            po.node().raw(),
+            if po.is_complement() { " [style=dashed]" } else { "" }
+        )?;
+    }
+    writeln!(writer, "}}")?;
+    Ok(())
+}
+
+/// Serializes to a DOT `String` (convenience over [`write_dot`]).
+pub fn dot_to_string(aig: &Aig) -> String {
+    let mut buf = Vec::new();
+    write_dot(aig, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("dot output is ascii")
+}
+
+/// Aggregate structural statistics of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AigStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of live AND gates.
+    pub ands: usize,
+    /// Logic depth.
+    pub depth: u32,
+    /// Largest fanout of any node.
+    pub max_fanout: usize,
+    /// Number of nodes with fanout of at least 16 (the "high-fanout" nodes
+    /// the paper blames for ICCAD'18's conflicts).
+    pub high_fanout_nodes: usize,
+}
+
+/// Computes [`AigStats`].
+pub fn stats(aig: &Aig) -> AigStats {
+    let mut max_fanout = 0;
+    let mut high = 0;
+    for i in 0..aig.slot_count() as u32 {
+        let n = NodeId::new(i);
+        if aig.is_alive(n) {
+            let f = aig.fanouts(n).len();
+            max_fanout = max_fanout.max(f);
+            if f >= 16 {
+                high += 1;
+            }
+        }
+    }
+    AigStats {
+        inputs: aig.num_inputs(),
+        outputs: aig.num_outputs(),
+        ands: aig.num_ands(),
+        depth: aig.depth(),
+        max_fanout,
+        high_fanout_nodes: high,
+    }
+}
+
+impl std::fmt::Display for AigStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} PIs, {} POs, {} ANDs, depth {}, max fanout {} ({} high-fanout nodes)",
+            self.inputs, self.outputs, self.ands, self.depth, self.max_fanout,
+            self.high_fanout_nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.add_xor(a, b);
+        aig.add_output(x);
+        aig.add_output(!x);
+        aig
+    }
+
+    #[test]
+    fn verilog_mentions_every_port_and_gate() {
+        let aig = sample();
+        let v = verilog_to_string(&aig, "xor2");
+        assert!(v.contains("module xor2"));
+        assert!(v.contains("input pi0;"));
+        assert!(v.contains("input pi1;"));
+        assert!(v.contains("output po0;"));
+        assert!(v.contains("output po1;"));
+        assert_eq!(v.matches("assign").count(), aig.num_ands() + aig.num_outputs());
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn verilog_handles_constant_outputs() {
+        let mut aig = Aig::new();
+        let _ = aig.add_input();
+        aig.add_output(Lit::TRUE);
+        let v = verilog_to_string(&aig, "c");
+        assert!(v.contains("assign po0 = 1'b1;"));
+    }
+
+    #[test]
+    fn dot_marks_complemented_edges() {
+        let aig = sample();
+        let d = dot_to_string(&aig);
+        assert!(d.starts_with("digraph aig {"));
+        assert!(d.contains("style=dashed"));
+        assert!(d.contains("shape=triangle"));
+        assert!(d.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn stats_count_structure() {
+        let aig = sample();
+        let s = stats(&aig);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.ands, 3);
+        assert_eq!(s.depth, 2);
+        assert!(s.max_fanout >= 2);
+        let display = s.to_string();
+        assert!(display.contains("3 ANDs"));
+    }
+}

@@ -1,0 +1,222 @@
+use std::fmt;
+
+/// Handle to a node slot inside an AIG.
+///
+/// Node `0` is always the constant-false node. Slot handles are stable for
+/// the lifetime of a node; deleted slots are recycled with a bumped
+/// generation counter (see [`crate::AigRead::generation`]), which is how the
+/// rewriting engines detect that a stored cut has been invalidated by ID
+/// reuse (Fig. 3 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use dacpara_aig::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant-false node present in every AIG.
+    pub const CONST0: NodeId = NodeId(0);
+
+    /// Creates a handle from a raw slot index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Raw slot index, usable for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw slot index as `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The positive (non-complemented) literal pointing at this node.
+    #[inline]
+    pub const fn lit(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(n: NodeId) -> u32 {
+        n.0
+    }
+}
+
+/// An AIG edge literal: a node handle plus a complement (inverter) bit.
+///
+/// Encoded ABC/AIGER style as `2 * node + complement`, so [`Lit::FALSE`] is
+/// `0` and [`Lit::TRUE`] is `1`. Negation is the `!` operator.
+///
+/// # Example
+///
+/// ```
+/// use dacpara_aig::{Lit, NodeId};
+/// let x = NodeId::new(5).lit();
+/// assert!(!x.is_complement());
+/// assert!((!x).is_complement());
+/// assert_eq!(!!x, x);
+/// assert_eq!(!Lit::FALSE, Lit::TRUE);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal (non-complemented edge to node 0).
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal (complemented edge to node 0).
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a node handle and a complement flag.
+    #[inline]
+    pub const fn new(node: NodeId, complement: bool) -> Self {
+        Lit(node.0 << 1 | complement as u32)
+    }
+
+    /// Decodes a raw AIGER-style literal value (`2 * node + complement`).
+    #[inline]
+    pub const fn from_raw(raw: u32) -> Self {
+        Lit(raw)
+    }
+
+    /// The raw AIGER-style encoding of this literal.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The node this literal points at.
+    #[inline]
+    pub const fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the edge carries an inverter.
+    #[inline]
+    pub const fn is_complement(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// This literal with its complement bit XORed with `c`.
+    ///
+    /// Useful when substituting one literal for another while preserving the
+    /// phase of the original edge.
+    #[inline]
+    #[must_use]
+    pub const fn xor(self, c: bool) -> Self {
+        Lit(self.0 ^ c as u32)
+    }
+
+    /// The non-complemented literal on the same node.
+    #[inline]
+    #[must_use]
+    pub const fn regular(self) -> Self {
+        Lit(self.0 & !1)
+    }
+
+    /// Whether this is one of the two constant literals.
+    #[inline]
+    pub const fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<NodeId> for Lit {
+    fn from(n: NodeId) -> Lit {
+        n.lit()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complement() {
+            write!(f, "!n{}", self.0 >> 1)
+        } else {
+            write!(f, "n{}", self.0 >> 1)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_roundtrip() {
+        for raw in 0..64u32 {
+            let l = Lit::from_raw(raw);
+            assert_eq!(l.raw(), raw);
+            assert_eq!(Lit::new(l.node(), l.is_complement()), l);
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Lit::FALSE.node(), NodeId::CONST0);
+        assert_eq!(Lit::TRUE.node(), NodeId::CONST0);
+        assert!(Lit::TRUE.is_complement());
+        assert!(Lit::FALSE.is_const());
+        assert!(Lit::TRUE.is_const());
+        assert!(!NodeId::new(1).lit().is_const());
+    }
+
+    #[test]
+    fn negation_involution() {
+        let l = Lit::new(NodeId::new(7), true);
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).node(), l.node());
+    }
+
+    #[test]
+    fn xor_preserves_node() {
+        let l = Lit::new(NodeId::new(9), false);
+        assert_eq!(l.xor(true), !l);
+        assert_eq!(l.xor(false), l);
+        assert_eq!((!l).regular(), l);
+    }
+
+    #[test]
+    fn ordering_groups_by_node() {
+        let a = NodeId::new(3).lit();
+        let b = NodeId::new(4).lit();
+        assert!(a < !a);
+        assert!(!a < b);
+    }
+}

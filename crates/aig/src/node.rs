@@ -1,0 +1,77 @@
+use crate::Lit;
+
+/// The kind of an AIG node slot.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NodeKind {
+    /// The slot is currently unused (its previous occupant was deleted).
+    Free,
+    /// The constant-false node (always node 0).
+    Const0,
+    /// A primary input.
+    Input,
+    /// A two-input AND gate.
+    And,
+}
+
+impl NodeKind {
+    /// Whether the slot holds a live node.
+    #[inline]
+    pub fn is_alive(self) -> bool {
+        self != NodeKind::Free
+    }
+
+    #[inline]
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            NodeKind::Free => 0,
+            NodeKind::Const0 => 1,
+            NodeKind::Input => 2,
+            NodeKind::And => 3,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn from_u8(v: u8) -> NodeKind {
+        match v {
+            0 => NodeKind::Free,
+            1 => NodeKind::Const0,
+            2 => NodeKind::Input,
+            3 => NodeKind::And,
+            _ => unreachable!("invalid node kind tag"),
+        }
+    }
+}
+
+/// Node storage for the single-threaded [`crate::Aig`].
+#[derive(Clone, Debug)]
+pub(crate) struct Node {
+    pub kind: NodeKind,
+    /// Fanin literals; meaningful only for `And` nodes, where they are kept
+    /// sorted (`fanin[0] <= fanin[1]`) and point at distinct live nodes.
+    pub fanin: [Lit; 2],
+    /// Logic depth: 0 for inputs/constants, `1 + max(fanin levels)` for ANDs.
+    pub level: u32,
+    /// Number of references: one per fanout AND node plus one per primary
+    /// output edge pointing at this node.
+    pub refs: u32,
+    /// Number of primary-output edges pointing at this node (a subset of
+    /// `refs`); lets `replace` skip the output scan for non-output nodes.
+    pub po_refs: u32,
+    /// Generation counter, bumped whenever the slot is allocated, the node's
+    /// fanins change, or the node is deleted. Stored cuts record leaf
+    /// generations so staleness is detectable.
+    pub gen: u32,
+}
+
+impl Node {
+    pub(crate) fn free() -> Node {
+        Node {
+            kind: NodeKind::Free,
+            fanin: [Lit::FALSE; 2],
+            level: 0,
+            refs: 0,
+            po_refs: 0,
+            gen: 0,
+        }
+    }
+}

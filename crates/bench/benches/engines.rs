@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the full rewriting engines — one group per
+//! table of the paper (smoke-sized so `cargo bench` stays minutes-scale;
+//! the real sweeps live in the `tables` binary).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dacpara::{run_engine, Engine, RewriteConfig};
+use dacpara_circuits::{mtm, MtmParams};
+
+fn table2_engines(c: &mut Criterion) {
+    let aig = mtm(&MtmParams {
+        inputs: 48,
+        gates: 3_000,
+        outputs: 16,
+        seed: 2024,
+    });
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for (name, engine, threads) in [
+        ("abc_rewrite_1t", Engine::AbcRewrite, 1usize),
+        ("iccad18_2t", Engine::Iccad18, 2),
+        ("dacpara_2t", Engine::DacPara, 2),
+    ] {
+        let cfg = RewriteConfig::rewrite_op().with_threads(threads);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || aig.clone(),
+                |mut a| run_engine(&mut a, engine, &cfg).expect("engine succeeds"),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn table3_engines(c: &mut Criterion) {
+    let aig = mtm(&MtmParams {
+        inputs: 48,
+        gates: 3_000,
+        outputs: 16,
+        seed: 2025,
+    });
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for (name, engine, cfg) in [
+        ("dac22_static", Engine::Dac22, RewriteConfig::drw_op()),
+        ("tcad23_static", Engine::Tcad23, RewriteConfig::drw_op()),
+        ("dacpara_p1", Engine::DacPara, RewriteConfig::p1()),
+        ("dacpara_p2", Engine::DacPara, RewriteConfig::rewrite_op()),
+    ] {
+        let cfg = cfg.with_threads(2);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || aig.clone(),
+                |mut a| run_engine(&mut a, engine, &cfg).expect("engine succeeds"),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2_engines, table3_engines);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks for the substrates: NPN canonicalization,
+//! cut enumeration, evaluation, SAT solving and AIG surgery.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dacpara::{evaluate_node, EvalContext, RewriteConfig};
+use dacpara_aig::{Aig, AigRead};
+use dacpara_circuits::arith;
+use dacpara_cut::{CutConfig, CutStore};
+use dacpara_equiv::{check_equivalence, CecConfig};
+use dacpara_npn::{canon_uncached, Tt4};
+use dacpara_nst::NpnLibrary;
+
+fn bench_npn(c: &mut Criterion) {
+    c.bench_function("npn/canon_uncached", |b| {
+        let mut raw = 0x1357u16;
+        b.iter(|| {
+            raw = raw.wrapping_mul(0x9E37).wrapping_add(1);
+            canon_uncached(Tt4::from_raw(raw))
+        });
+    });
+}
+
+fn bench_cuts(c: &mut Criterion) {
+    let aig = arith::multiplier(8);
+    c.bench_function("cut/enumerate_mult8", |b| {
+        b.iter_batched(
+            || CutStore::new(aig.slot_count(), CutConfig::unlimited()),
+            |store| {
+                for n in dacpara_aig::topo_ands(&aig) {
+                    let _ = store.cuts(&aig, n);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let aig = arith::multiplier(8);
+    let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+    let ctx = EvalContext::new(&RewriteConfig {
+        num_classes: 222,
+        ..RewriteConfig::rewrite_op()
+    });
+    let _ = NpnLibrary::global(); // build outside the timer
+    let nodes: Vec<_> = dacpara_aig::topo_ands(&aig);
+    for &n in &nodes {
+        let _ = store.cuts(&aig, n);
+    }
+    c.bench_function("eval/evaluate_mult8_all_nodes", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &n in &nodes {
+                let cuts = store.cuts(&aig, n);
+                if evaluate_node(&aig, n, &cuts, &ctx).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        });
+    });
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let a = arith::adder(8);
+    let b2 = arith::adder(8);
+    c.bench_function("sat/cec_adder8", |b| {
+        b.iter(|| check_equivalence(&a, &b2, &CecConfig::default()));
+    });
+}
+
+fn bench_aig_surgery(c: &mut Criterion) {
+    c.bench_function("aig/replace_cascade", |b| {
+        b.iter_batched(
+            || {
+                let mut aig = Aig::new();
+                let ins: Vec<_> = (0..16).map(|_| aig.add_input()).collect();
+                let mut acc = ins[0];
+                for w in ins.windows(2) {
+                    let x = aig.add_xor(w[0], w[1]);
+                    acc = aig.add_and(acc, x);
+                }
+                aig.add_output(acc);
+                aig
+            },
+            |mut aig| {
+                let victim = aig.and_ids().nth(5).expect("node exists");
+                aig.replace(victim, dacpara_aig::Lit::TRUE);
+                aig.cleanup();
+                aig.num_ands()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_npn, bench_cuts, bench_eval, bench_sat, bench_aig_surgery
+}
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Command-line rewriting tool: read an AIGER netlist (or generate a named
+//! benchmark), optimize it with a chosen engine, and write the result.
+//!
+//! ```text
+//! rewrite [--engine abc|iccad18|dac22|tcad23|dacpara] [--threads N]
+//!         [--runs N] [--zeros] [--classes 134|222] [--check]
+//!         [--in FILE.{aag,aig,blif}|--bench NAME[:scale]]
+//!         [--out FILE.{aag,aig,blif,v,dot}]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dacpara::{run_engine, Engine, RewriteConfig};
+use dacpara_aig::{aiger, Aig};
+use dacpara_circuits::{full_suite, Scale};
+use dacpara_equiv::{check_equivalence, CecConfig, CecResult};
+
+struct Args {
+    engine: Engine,
+    cfg: RewriteConfig,
+    input: Input,
+    output: Option<PathBuf>,
+    check: bool,
+}
+
+enum Input {
+    File(PathBuf),
+    Bench(String, Scale),
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut engine = Engine::DacPara;
+    let mut cfg = RewriteConfig::rewrite_op();
+    let mut input = None;
+    let mut output = None;
+    let mut check = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--engine" => {
+                engine = match it.next().as_deref() {
+                    Some("abc") => Engine::AbcRewrite,
+                    Some("iccad18") => Engine::Iccad18,
+                    Some("dac22") => Engine::Dac22,
+                    Some("tcad23") => Engine::Tcad23,
+                    Some("dacpara") => Engine::DacPara,
+                    other => return Err(format!("unknown engine {other:?}")),
+                };
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a number")?;
+            }
+            "--runs" => {
+                cfg.runs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--runs needs a number")?;
+            }
+            "--classes" => {
+                cfg.num_classes = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--classes needs a number")?;
+            }
+            "--zeros" => cfg.use_zeros = true,
+            "--check" => check = true,
+            "--in" => {
+                input = Some(Input::File(PathBuf::from(
+                    it.next().ok_or("--in needs a path")?,
+                )));
+            }
+            "--bench" => {
+                let spec = it.next().ok_or("--bench needs a name")?;
+                let (name, scale) = match spec.split_once(':') {
+                    Some((n, "test")) => (n.to_string(), Scale::Test),
+                    Some((n, "small")) => (n.to_string(), Scale::Small),
+                    Some((n, "medium")) => (n.to_string(), Scale::Medium),
+                    Some((_, s)) => return Err(format!("unknown scale {s}")),
+                    None => (spec, Scale::Small),
+                };
+                input = Some(Input::Bench(name, scale));
+            }
+            "--out" => {
+                output = Some(PathBuf::from(it.next().ok_or("--out needs a path")?));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let input = input.ok_or("one of --in FILE or --bench NAME is required")?;
+    Ok(Args {
+        engine,
+        cfg,
+        input,
+        output,
+        check,
+    })
+}
+
+fn load(input: &Input) -> Result<Aig, String> {
+    match input {
+        Input::File(path) => {
+            let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+            match path.extension().and_then(|e| e.to_str()) {
+                Some("aig") => dacpara_aig::aiger::read_binary(&bytes[..]).map_err(|e| e.to_string()),
+                Some("blif") => {
+                    let text = String::from_utf8(bytes).map_err(|e| e.to_string())?;
+                    dacpara_aig::blif::parse(&text).map_err(|e| e.to_string())
+                }
+                _ => {
+                    let text = String::from_utf8(bytes).map_err(|e| e.to_string())?;
+                    aiger::parse(&text).map_err(|e| e.to_string())
+                }
+            }
+        }
+        Input::Bench(name, scale) => full_suite(*scale)
+            .into_iter()
+            .find(|b| b.name == *name || b.name.starts_with(&format!("{name}_")))
+            .map(|b| b.aig)
+            .ok_or_else(|| format!("unknown benchmark `{name}`")),
+    }
+}
+
+fn save(aig: &Aig, path: &std::path::Path) -> Result<(), String> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("aig") => {
+            let mut buf = Vec::new();
+            dacpara_aig::aiger::write_binary(aig, &mut buf).map_err(|e| e.to_string())?;
+            std::fs::write(path, buf).map_err(|e| e.to_string())
+        }
+        Some("blif") => {
+            let model = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("rewritten");
+            std::fs::write(path, dacpara_aig::blif::to_string(aig, model))
+                .map_err(|e| e.to_string())
+        }
+        Some("v") => {
+            let module = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("rewritten");
+            std::fs::write(path, dacpara_aig::export::verilog_to_string(aig, module))
+                .map_err(|e| e.to_string())
+        }
+        Some("dot") => std::fs::write(path, dacpara_aig::export::dot_to_string(aig))
+            .map_err(|e| e.to_string()),
+        _ => std::fs::write(path, aiger::to_string(aig)).map_err(|e| e.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: rewrite [--engine abc|iccad18|dac22|tcad23|dacpara] \
+                 [--threads N] [--runs N] [--zeros] [--classes 134|222] [--check] \
+                 (--in FILE.aag | --bench NAME[:test|small|medium]) [--out FILE.aag]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut aig = match load(&args.input) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let golden = if args.check { Some(aig.clone()) } else { None };
+    eprintln!("input:  {}", dacpara_aig::export::stats(&aig));
+    match run_engine(&mut aig, args.engine, &args.cfg) {
+        Ok(stats) => eprintln!("{stats}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("output: {}", dacpara_aig::export::stats(&aig));
+    if let Some(golden) = golden {
+        match check_equivalence(&golden, &aig, &CecConfig::default()) {
+            CecResult::Equivalent => eprintln!("equivalence: proven"),
+            CecResult::Undecided => eprintln!("equivalence: simulation passed (SAT budget out)"),
+            CecResult::Inequivalent(_) => {
+                eprintln!("equivalence: FAILED — refusing to write output");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = args.output {
+        if let Err(e) = save(&aig, &path) {
+            eprintln!("error writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

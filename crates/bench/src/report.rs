@@ -1,0 +1,115 @@
+//! Table formatting and result persistence for the experiment harness.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A rendered table (markdown-ready).
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Table title, e.g. `Table 2: ...`.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (same arity as `columns`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Writes a serializable value as pretty JSON under `dir/name.json`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(path)?;
+    let text = serde_json::to_string_pretty(value).expect("results serialize");
+    f.write_all(text.as_bytes())
+}
+
+/// Writes markdown under `dir/name.md`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_markdown(dir: &Path, name: &str, text: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{name}.md")), text)
+}
+
+/// Geometric mean of ratios, for the paper's "Normalized Mean" rows.
+pub fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = ratios.iter().map(|r| r.max(1e-12).ln()).sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("Table X", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Table X"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_enforced() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+}

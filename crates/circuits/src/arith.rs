@@ -1,0 +1,229 @@
+//! Arithmetic benchmark generators (the EPFL arithmetic set, scaled).
+//!
+//! Each generator builds a *real* datapath of the same kind as its EPFL
+//! namesake — an array multiplier for `mult`, a restoring divider for `div`,
+//! and so on — so the AIGs exhibit the cut/NPN-class mix, sharing and depth
+//! profile that drive rewriting behaviour. Bit-widths are parameters so the
+//! suite can be scaled to the host (see `DESIGN.md` §2).
+
+use dacpara_aig::Aig;
+
+use crate::builder::{Builder, Word};
+
+/// `mult`: unsigned `w × w` array multiplier.
+pub fn multiplier(w: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let x = b.input_word(w);
+    let y = b.input_word(w);
+    let p = b.mul(&x, &y);
+    b.output_word(&p);
+    aig
+}
+
+/// `square`: unsigned squarer.
+pub fn square(w: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let x = b.input_word(w);
+    let p = b.square(&x);
+    b.output_word(&p);
+    aig
+}
+
+/// `adder`: ripple-carry adder (used by tests and ablations).
+pub fn adder(w: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let x = b.input_word(w);
+    let y = b.input_word(w);
+    let s = b.add(&x, &y);
+    b.output_word(&s);
+    aig
+}
+
+/// `div`: restoring divider producing quotient and remainder. Very deep
+/// (the EPFL `div` has delay in the thousands; so does this one, scaled).
+pub fn divider(w: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let x = b.input_word(w);
+    let y = b.input_word(w);
+    let (q, r) = b.div(&x, &y);
+    b.output_word(&q);
+    b.output_word(&r);
+    aig
+}
+
+/// `sqrt`: restoring square root of a `2w`-bit radicand.
+pub fn sqrt(w: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let x = b.input_word(2 * w);
+    let r = b.sqrt(&x);
+    b.output_word(&r);
+    aig
+}
+
+/// `hyp`: hypotenuse `floor(sqrt(x² + y²))` — squares, an adder and a deep
+/// square root, mirroring the EPFL `hyp`'s "deepest benchmark" role.
+pub fn hypotenuse(w: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let x = b.input_word(w);
+    let y = b.input_word(w);
+    let x2 = b.square(&x);
+    let y2 = b.square(&y);
+    let sum = b.add(&x2, &y2).resized(2 * w + 2);
+    let r = b.sqrt(&sum.resized(2 * (w + 1)));
+    b.output_word(&r);
+    aig
+}
+
+/// `log2`: integer part via priority encoder + barrel-shifter
+/// normalization, fractional bits by the classic iterative-squaring method
+/// (one full-width squarer per fractional bit — this is why the EPFL `log2`
+/// is one of the largest arithmetic benchmarks).
+pub fn log2(w: usize, frac_bits: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let x = b.input_word(w);
+    let (exp, nonzero) = b.priority_encode(&x);
+    // Normalize: mantissa = x << (w-1 - exp), so the MSB lands at w-1 and
+    // the mantissa value m is in [1, 2) with w-1 fraction bits.
+    let wconst = b.constant(exp.width(), (w - 1) as u64);
+    let shift = b.sub(&wconst, &exp).resized(exp.width());
+    let mut m = b.shl_barrel(&x, &shift);
+    // Iterative squaring: m <- m²; the bit above the binade boundary is the
+    // next fractional bit of log2(m), after which m is renormalized.
+    let mut frac = Vec::with_capacity(frac_bits);
+    for _ in 0..frac_bits {
+        let sq = b.square(&m); // 2w bits, value in [2^(2w-2), 2^(2w))
+        let top = sq.bits()[2 * w - 1]; // m² >= 2 ?
+        let hi = Word(sq.bits()[w..2 * w].to_vec());
+        let lo = Word(sq.bits()[w - 1..2 * w - 1].to_vec());
+        m = b.mux_word(top, &hi, &lo);
+        frac.push(top);
+    }
+    b.output_word(&exp);
+    b.output_word(&Word(frac));
+    b.aig().add_output(nonzero);
+    aig
+}
+
+/// `sin`: fixed-point odd-polynomial approximation
+/// `sin(x) ≈ x·(C0 − x²·(C1 − x²·C2))` with `w`-bit operands — the same
+/// multiplier-dominated structure as the EPFL `sin`.
+pub fn sin(w: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let x = b.input_word(w);
+    // Fixed-point constants with w fractional bits:
+    // C0 = 1.0, C1 = 1/6, C2 = 1/120.
+    let one = 1u64 << (w - 1);
+    let c1 = b.constant(w, (one as f64 / 6.0) as u64);
+    let c2 = b.constant(w, (one as f64 / 120.0) as u64);
+    let x2 = b.square(&x); // 2w bits
+    let x2 = scale_down(&x2, w); // back to w fractional bits
+    let t2 = b.mul(&x2, &c2);
+    let t2 = scale_down(&t2, w);
+    let t1 = b.sub(&c1, &t2).resized(w);
+    let t0 = b.mul(&x2, &t1);
+    let t0 = scale_down(&t0, w);
+    let one_w = b.constant(w, one);
+    let poly = b.sub(&one_w, &t0).resized(w);
+    let s = b.mul(&x, &poly);
+    b.output_word(&s.resized(2 * w));
+    aig
+}
+
+/// Drops the low `k` bits (fixed-point rescale after a multiply).
+fn scale_down(w: &Word, k: usize) -> Word {
+    Word(w.bits()[k.min(w.width())..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacpara_aig::AigRead;
+    use dacpara_equiv::simulate_bools;
+
+    fn eval(aig: &Aig, inputs: u64, n_in: usize) -> u64 {
+        let bits: Vec<bool> = (0..n_in).map(|k| inputs >> k & 1 != 0).collect();
+        let out = simulate_bools(aig, &bits);
+        out.iter()
+            .enumerate()
+            .fold(0u64, |acc, (k, &b)| acc | (b as u64) << k)
+    }
+
+    #[test]
+    fn generators_produce_valid_graphs() {
+        for aig in [
+            multiplier(6),
+            square(6),
+            adder(8),
+            divider(6),
+            sqrt(4),
+            hypotenuse(4),
+            log2(8, 4),
+            sin(8),
+        ] {
+            aig.check().unwrap();
+            assert!(aig.num_ands() > 0);
+        }
+    }
+
+    #[test]
+    fn hypotenuse_matches_reference() {
+        let aig = hypotenuse(4);
+        for (x, y) in [(3u64, 4u64), (5, 12), (0, 0), (15, 15), (7, 1)] {
+            let got = eval(&aig, x | y << 4, 8);
+            let expect = ((x * x + y * y) as f64).sqrt().floor() as u64;
+            assert_eq!(got, expect, "hyp({x},{y})");
+        }
+    }
+
+    #[test]
+    fn log2_integer_part_is_msb_index() {
+        let aig = log2(8, 4);
+        for x in [1u64, 2, 3, 128, 200, 255] {
+            let out = eval(&aig, x, 8);
+            let exp = out & 0x7;
+            assert_eq!(exp, 63 - x.leading_zeros() as u64, "log2({x})");
+        }
+    }
+
+    #[test]
+    fn log2_fractional_bits_via_squaring() {
+        let aig = log2(8, 4);
+        // Outputs: exp (3 bits), frac (4 bits, most significant first), nz.
+        let frac_of = |x: u64| (eval(&aig, x, 8) >> 3) & 0xF;
+        // log2(2) = 1.0 → no fractional part.
+        assert_eq!(frac_of(2), 0);
+        // log2(3) = 1.5849…; binary fraction .1001… → bits (msb first) 1,0,0,1.
+        assert_eq!(frac_of(3), 0b1001);
+        // log2(6) has the same fraction as log2(3).
+        assert_eq!(frac_of(6), frac_of(3));
+    }
+
+    #[test]
+    fn divider_depth_dwarfs_multiplier_depth() {
+        let m = multiplier(8);
+        let d = divider(8);
+        assert!(d.depth() > 2 * m.depth(), "div must be much deeper");
+    }
+
+    #[test]
+    fn sin_is_monotone_on_small_inputs() {
+        // On [0, ~0.5) the fixed-point polynomial must be monotonically
+        // nondecreasing — a smoke test that the datapath is wired sanely.
+        let w = 8;
+        let aig = sin(w);
+        let mut last = 0u64;
+        for x in 0..(1u64 << (w - 2)) {
+            let got = eval(&aig, x, w);
+            assert!(got >= last, "sin LUT dipped at {x}: {got} < {last}");
+            last = got;
+        }
+    }
+}

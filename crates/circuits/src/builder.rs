@@ -1,0 +1,425 @@
+//! Word-level construction helpers over an [`Aig`].
+//!
+//! The benchmark generators assemble datapaths (adders, multipliers,
+//! dividers, …) out of these combinators. A [`Word`] is a little-endian
+//! vector of AIG literals.
+
+use dacpara_aig::{Aig, Lit};
+
+/// A little-endian bit vector of AIG literals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Word(pub Vec<Lit>);
+
+impl Word {
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The bits, least significant first.
+    pub fn bits(&self) -> &[Lit] {
+        &self.0
+    }
+
+    /// Truncates or zero-extends to `width`.
+    pub fn resized(&self, width: usize) -> Word {
+        let mut bits = self.0.clone();
+        bits.resize(width, Lit::FALSE);
+        bits.truncate(width);
+        Word(bits)
+    }
+
+    /// Left shift by a constant number of bits (width grows).
+    pub fn shifted_left(&self, k: usize) -> Word {
+        let mut bits = vec![Lit::FALSE; k];
+        bits.extend_from_slice(&self.0);
+        Word(bits)
+    }
+}
+
+/// Word-level circuit builder borrowing an [`Aig`].
+///
+/// # Example
+///
+/// ```
+/// use dacpara_aig::Aig;
+/// use dacpara_circuits::Builder;
+///
+/// let mut aig = Aig::new();
+/// let mut b = Builder::new(&mut aig);
+/// let x = b.input_word(4);
+/// let y = b.input_word(4);
+/// let sum = b.add(&x, &y);
+/// b.output_word(&sum);
+/// assert_eq!(aig.num_outputs(), 5); // 4 bits + carry
+/// ```
+#[derive(Debug)]
+pub struct Builder<'a> {
+    aig: &'a mut Aig,
+}
+
+impl<'a> Builder<'a> {
+    /// Wraps an AIG for word-level construction.
+    pub fn new(aig: &'a mut Aig) -> Builder<'a> {
+        Builder { aig }
+    }
+
+    /// The underlying graph.
+    pub fn aig(&mut self) -> &mut Aig {
+        self.aig
+    }
+
+    /// A fresh input word of `width` bits.
+    pub fn input_word(&mut self, width: usize) -> Word {
+        Word((0..width).map(|_| self.aig.add_input()).collect())
+    }
+
+    /// A constant word.
+    pub fn constant(&self, width: usize, value: u64) -> Word {
+        Word(
+            (0..width)
+                .map(|k| {
+                    if value >> k & 1 != 0 {
+                        Lit::TRUE
+                    } else {
+                        Lit::FALSE
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Registers every bit as a primary output.
+    pub fn output_word(&mut self, w: &Word) {
+        for &b in w.bits() {
+            self.aig.add_output(b);
+        }
+    }
+
+    /// Full adder returning `(sum, carry)`.
+    pub fn full_adder(&mut self, a: Lit, b: Lit, c: Lit) -> (Lit, Lit) {
+        let axb = self.aig.add_xor(a, b);
+        let sum = self.aig.add_xor(axb, c);
+        let ab = self.aig.add_and(a, b);
+        let axbc = self.aig.add_and(axb, c);
+        let carry = self.aig.add_or(ab, axbc);
+        (sum, carry)
+    }
+
+    /// Ripple-carry addition; the result is one bit wider than the longest
+    /// operand (carry out is the MSB).
+    pub fn add(&mut self, a: &Word, b: &Word) -> Word {
+        let width = a.width().max(b.width());
+        let a = a.resized(width);
+        let b = b.resized(width);
+        let mut carry = Lit::FALSE;
+        let mut bits = Vec::with_capacity(width + 1);
+        for k in 0..width {
+            let (s, c) = self.full_adder(a.0[k], b.0[k], carry);
+            bits.push(s);
+            carry = c;
+        }
+        bits.push(carry);
+        Word(bits)
+    }
+
+    /// Two's-complement subtraction `a - b` over `max(width)` bits; the MSB
+    /// of the result is the *borrow-free* flag (1 when `a >= b`).
+    pub fn sub(&mut self, a: &Word, b: &Word) -> Word {
+        let width = a.width().max(b.width());
+        let a = a.resized(width);
+        let b = b.resized(width);
+        let mut carry = Lit::TRUE;
+        let mut bits = Vec::with_capacity(width + 1);
+        for k in 0..width {
+            let (s, c) = self.full_adder(a.0[k], !b.0[k], carry);
+            bits.push(s);
+            carry = c;
+        }
+        bits.push(carry);
+        Word(bits)
+    }
+
+    /// Word multiplexer `if s then t else e` (widths equalized).
+    pub fn mux_word(&mut self, s: Lit, t: &Word, e: &Word) -> Word {
+        let width = t.width().max(e.width());
+        let t = t.resized(width);
+        let e = e.resized(width);
+        Word(
+            (0..width)
+                .map(|k| self.aig.add_mux(s, t.0[k], e.0[k]))
+                .collect(),
+        )
+    }
+
+    /// Array multiplier; result has `a.width() + b.width()` bits.
+    pub fn mul(&mut self, a: &Word, b: &Word) -> Word {
+        let out_width = a.width() + b.width();
+        let mut acc = self.constant(0, 0);
+        for (k, &bk) in b.bits().iter().enumerate() {
+            let partial: Vec<Lit> = a
+                .bits()
+                .iter()
+                .map(|&ai| self.aig.add_and(ai, bk))
+                .collect();
+            let partial = Word(partial).shifted_left(k);
+            acc = self.add(&acc, &partial);
+        }
+        acc.resized(out_width)
+    }
+
+    /// Squarer (a multiplier specialized to `x * x`).
+    pub fn square(&mut self, a: &Word) -> Word {
+        self.mul(&a.clone(), a)
+    }
+
+    /// Unsigned comparison `a >= b`.
+    pub fn ge(&mut self, a: &Word, b: &Word) -> Lit {
+        let diff = self.sub(a, b);
+        *diff.bits().last().expect("sub yields a borrow flag")
+    }
+
+    /// Restoring division: returns `(quotient, remainder)` of the
+    /// `a.width()`-bit unsigned division `a / b` (b must be nonzero for a
+    /// meaningful remainder; the circuit itself is total).
+    pub fn div(&mut self, a: &Word, b: &Word) -> (Word, Word) {
+        let w = a.width();
+        let mut rem = self.constant(b.width() + 1, 0);
+        let mut quotient = vec![Lit::FALSE; w];
+        for k in (0..w).rev() {
+            // rem = (rem << 1) | a[k]
+            let mut shifted = rem.shifted_left(1);
+            shifted.0[0] = a.0[k];
+            let shifted = shifted.resized(b.width() + 1);
+            let diff = self.sub(&shifted, &b.resized(b.width() + 1));
+            let fits = *diff.bits().last().expect("borrow flag");
+            quotient[k] = fits;
+            rem = self.mux_word(fits, &diff.resized(b.width() + 1), &shifted);
+        }
+        (Word(quotient), rem.resized(b.width()))
+    }
+
+    /// Restoring square root of a `2w`-bit word, returning the `w`-bit root.
+    pub fn sqrt(&mut self, a: &Word) -> Word {
+        let w2 = a.width();
+        let w = w2 / 2;
+        let mut root = self.constant(w2 + 2, 0);
+        let mut rem = self.constant(w2 + 2, 0);
+        for k in (0..w).rev() {
+            // Bring down the next two bits of `a`.
+            let mut r2 = rem.shifted_left(2).resized(w2 + 2);
+            if 2 * k + 1 < w2 {
+                r2.0[1] = a.0[2 * k + 1];
+            }
+            r2.0[0] = a.0[2 * k];
+            // Trial subtrahend: (root << 2) | 1.
+            let mut trial = root.shifted_left(2).resized(w2 + 2);
+            trial.0[0] = Lit::TRUE;
+            let diff = self.sub(&r2, &trial);
+            let fits = *diff.bits().last().expect("borrow flag");
+            rem = self.mux_word(fits, &diff.resized(w2 + 2), &r2);
+            // root = (root << 1) | fits.
+            let mut r = root.shifted_left(1).resized(w2 + 2);
+            r.0[0] = fits;
+            root = r;
+        }
+        root.resized(w)
+    }
+
+    /// Popcount: the number of set bits among `lits`, as a word.
+    pub fn popcount(&mut self, lits: &[Lit]) -> Word {
+        let mut words: Vec<Word> = lits.iter().map(|&l| Word(vec![l])).collect();
+        if words.is_empty() {
+            return self.constant(1, 0);
+        }
+        while words.len() > 1 {
+            let mut next = Vec::with_capacity(words.len() / 2 + 1);
+            for pair in words.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.add(&pair[0], &pair[1]));
+                } else {
+                    next.push(pair[0].clone());
+                }
+            }
+            words = next;
+        }
+        words.pop().expect("non-empty")
+    }
+
+    /// Priority encoder: index of the most significant set bit (0 when the
+    /// input is zero) plus a "nonzero" flag.
+    pub fn priority_encode(&mut self, a: &Word) -> (Word, Lit) {
+        let w = a.width();
+        let idx_width = usize::BITS as usize - (w.max(2) - 1).leading_zeros() as usize;
+        let mut found = Lit::FALSE;
+        let mut index = self.constant(idx_width, 0);
+        for k in (0..w).rev() {
+            let bit = a.0[k];
+            let take = self.aig.add_and(bit, !found);
+            let kword = self.constant(idx_width, k as u64);
+            index = self.mux_word(take, &kword, &index);
+            found = self.aig.add_or(found, bit);
+        }
+        (index, found)
+    }
+
+    /// Logical barrel shifter `a >> s` (zero filled).
+    pub fn shr_barrel(&mut self, a: &Word, s: &Word) -> Word {
+        let mut cur = a.clone();
+        for (stage, &sel) in s.bits().iter().enumerate() {
+            let k = 1usize << stage;
+            let shifted = Word(
+                (0..cur.width())
+                    .map(|i| cur.0.get(i + k).copied().unwrap_or(Lit::FALSE))
+                    .collect(),
+            );
+            cur = self.mux_word(sel, &shifted, &cur);
+        }
+        cur
+    }
+
+    /// Logical barrel shifter `a << s` (width preserved, zero filled).
+    pub fn shl_barrel(&mut self, a: &Word, s: &Word) -> Word {
+        let mut cur = a.clone();
+        for (stage, &sel) in s.bits().iter().enumerate() {
+            let k = 1usize << stage;
+            let shifted = Word(
+                (0..cur.width())
+                    .map(|i| {
+                        if i >= k {
+                            cur.0[i - k]
+                        } else {
+                            Lit::FALSE
+                        }
+                    })
+                    .collect(),
+            );
+            cur = self.mux_word(sel, &shifted, &cur);
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacpara_equiv::simulate_bools;
+
+    fn eval(aig: &Aig, inputs: u64, n_in: usize) -> u64 {
+        let bits: Vec<bool> = (0..n_in).map(|k| inputs >> k & 1 != 0).collect();
+        let out = simulate_bools(aig, &bits);
+        out.iter()
+            .enumerate()
+            .fold(0u64, |acc, (k, &b)| acc | (b as u64) << k)
+    }
+
+    #[test]
+    fn adder_adds() {
+        let mut aig = Aig::new();
+        let mut b = Builder::new(&mut aig);
+        let x = b.input_word(4);
+        let y = b.input_word(4);
+        let s = b.add(&x, &y);
+        b.output_word(&s);
+        for (a, c) in [(3u64, 9u64), (15, 15), (0, 0), (7, 8)] {
+            let got = eval(&aig, a | c << 4, 8);
+            assert_eq!(got, a + c, "{a} + {c}");
+        }
+    }
+
+    #[test]
+    fn subtractor_flags_order() {
+        let mut aig = Aig::new();
+        let mut b = Builder::new(&mut aig);
+        let x = b.input_word(4);
+        let y = b.input_word(4);
+        let d = b.sub(&x, &y);
+        b.output_word(&d);
+        for (a, c) in [(9u64, 3u64), (3, 9), (5, 5)] {
+            let got = eval(&aig, a | c << 4, 8);
+            let expect = (a.wrapping_sub(c) & 0xF) | ((a >= c) as u64) << 4;
+            assert_eq!(got, expect, "{a} - {c}");
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let mut aig = Aig::new();
+        let mut b = Builder::new(&mut aig);
+        let x = b.input_word(4);
+        let y = b.input_word(4);
+        let p = b.mul(&x, &y);
+        b.output_word(&p);
+        for (a, c) in [(3u64, 5u64), (15, 15), (0, 7), (12, 11)] {
+            assert_eq!(eval(&aig, a | c << 4, 8), a * c, "{a} * {c}");
+        }
+    }
+
+    #[test]
+    fn divider_divides() {
+        let mut aig = Aig::new();
+        let mut b = Builder::new(&mut aig);
+        let x = b.input_word(6);
+        let y = b.input_word(3);
+        let (q, r) = b.div(&x, &y);
+        b.output_word(&q);
+        b.output_word(&r);
+        for (a, c) in [(42u64, 5u64), (63, 7), (9, 1), (13, 4)] {
+            let got = eval(&aig, a | c << 6, 9);
+            let expect = (a / c) | (a % c) << 6;
+            assert_eq!(got, expect, "{a} / {c}");
+        }
+    }
+
+    #[test]
+    fn sqrt_roots() {
+        let mut aig = Aig::new();
+        let mut b = Builder::new(&mut aig);
+        let x = b.input_word(8);
+        let r = b.sqrt(&x);
+        b.output_word(&r);
+        for a in [0u64, 1, 4, 10, 81, 100, 255] {
+            let got = eval(&aig, a, 8);
+            assert_eq!(got, (a as f64).sqrt().floor() as u64, "sqrt({a})");
+        }
+    }
+
+    #[test]
+    fn popcount_counts() {
+        let mut aig = Aig::new();
+        let mut b = Builder::new(&mut aig);
+        let x = b.input_word(7);
+        let bits: Vec<Lit> = x.bits().to_vec();
+        let c = b.popcount(&bits);
+        b.output_word(&c);
+        for a in [0u64, 0b1111111, 0b1010101, 0b0011100] {
+            assert_eq!(eval(&aig, a, 7), a.count_ones() as u64, "{a:07b}");
+        }
+    }
+
+    #[test]
+    fn priority_encoder_and_shifters() {
+        let mut aig = Aig::new();
+        let mut b = Builder::new(&mut aig);
+        let x = b.input_word(8);
+        let (idx, nz) = b.priority_encode(&x);
+        let sh = b.shr_barrel(&x, &idx.resized(3));
+        b.output_word(&idx);
+        b.aig().add_output(nz);
+        b.output_word(&sh);
+        for a in [1u64, 0b10000000, 0b00101000, 0] {
+            let out = eval(&aig, a, 8);
+            let idx_got = out & 0x7;
+            let nz_got = out >> 3 & 1;
+            let sh_got = out >> 4 & 0xFF;
+            if a == 0 {
+                assert_eq!(nz_got, 0);
+            } else {
+                let msb = 63 - a.leading_zeros() as u64;
+                assert_eq!(idx_got, msb, "msb of {a:08b}");
+                assert_eq!(nz_got, 1);
+                assert_eq!(sh_got, a >> msb, "normalized {a:08b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Random/control benchmark generators (the EPFL random_control set,
+//! scaled): a majority voter and a memory-controller-like control fabric.
+
+use dacpara_aig::{Aig, Lit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::Builder;
+
+/// `voter`: majority of `n` single-bit inputs (`n` odd), built as a
+/// popcount tree plus a threshold comparator — the same structure as the
+/// EPFL `voter` (1001 inputs).
+pub fn voter(n: usize) -> Aig {
+    assert!(n % 2 == 1, "voter needs an odd number of inputs");
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let bits: Vec<Lit> = (0..n).map(|_| b.aig().add_input()).collect();
+    let count = b.popcount(&bits);
+    let threshold = b.constant(count.width(), (n / 2 + 1) as u64);
+    let majority = b.ge(&count, &threshold);
+    b.aig().add_output(majority);
+    aig
+}
+
+/// `mem_ctrl` stand-in: a wide control fabric of address decoders, request
+/// arbiters and byte-enable muxing. The EPFL `mem_ctrl` is proprietary RTL;
+/// this generator reproduces its *shape* — very wide I/O, shallow-to-medium
+/// depth, heavily shared decoder logic (see `DESIGN.md` §2).
+pub fn mem_ctrl(ports: usize, addr_bits: usize, data_bits: usize, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+
+    // Per port: an address, a request line and a data word.
+    let addrs: Vec<_> = (0..ports).map(|_| b.input_word(addr_bits)).collect();
+    let reqs: Vec<Lit> = (0..ports).map(|_| b.aig().add_input()).collect();
+    let datas: Vec<_> = (0..ports).map(|_| b.input_word(data_bits)).collect();
+
+    // Bank decoders: each port's address selects one of 2^k banks; the
+    // decoder logic is shared between ports that look at the same bits.
+    let bank_bits = addr_bits.min(4);
+    let mut grant_any = Vec::new();
+    for bank in 0..(1usize << bank_bits) {
+        // Fixed-priority arbiter across ports for this bank.
+        let mut granted = Lit::FALSE;
+        let mut bank_data = b.constant(data_bits, 0);
+        for p in 0..ports {
+            let mut hit = reqs[p];
+            for k in 0..bank_bits {
+                let bit = addrs[p].bits()[k];
+                let want = bank >> k & 1 != 0;
+                let cond = if want { bit } else { !bit };
+                hit = b.aig().add_and(hit, cond);
+            }
+            let win = b.aig().add_and(hit, !granted);
+            bank_data = b.mux_word(win, &datas[p], &bank_data);
+            granted = b.aig().add_or(granted, hit);
+        }
+        b.aig().add_output(granted);
+        b.output_word(&bank_data);
+        grant_any.push(granted);
+    }
+
+    // A little random glue logic (status flags), as real controllers have.
+    let mut pool: Vec<Lit> = grant_any;
+    pool.extend(reqs.iter().copied());
+    for _ in 0..ports * 4 {
+        let i = rng.gen_range(0..pool.len());
+        let j = rng.gen_range(0..pool.len());
+        let ci = rng.gen::<bool>();
+        let cj = rng.gen::<bool>();
+        let g = b.aig().add_and(pool[i].xor(ci), pool[j].xor(cj));
+        pool.push(g);
+    }
+    for &flag in pool.iter().rev().take(ports) {
+        b.aig().add_output(flag);
+    }
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacpara_aig::AigRead;
+    use dacpara_equiv::simulate_bools;
+
+    #[test]
+    fn voter_votes() {
+        let aig = voter(7);
+        aig.check().unwrap();
+        let cases: [(&[bool], bool); 4] = [
+            (&[true, true, true, true, false, false, false], true),
+            (&[true, true, false, true, false, false, false], false),
+            (&[true; 7], true),
+            (&[false; 7], false),
+        ];
+        for (inputs, expect) in cases {
+            assert_eq!(simulate_bools(&aig, inputs)[0], expect, "{inputs:?}");
+        }
+    }
+
+    #[test]
+    fn voter_is_symmetric() {
+        // Any permutation of the same multiset of inputs gives the same
+        // output — the defining property of a symmetric function.
+        let aig = voter(5);
+        let base = [true, true, false, false, true];
+        let rotations: Vec<Vec<bool>> = (0..5)
+            .map(|r| (0..5).map(|i| base[(i + r) % 5]).collect())
+            .collect();
+        let first = simulate_bools(&aig, &rotations[0])[0];
+        for rot in &rotations[1..] {
+            assert_eq!(simulate_bools(&aig, rot)[0], first);
+        }
+    }
+
+    #[test]
+    fn mem_ctrl_is_deterministic_and_valid() {
+        let a = mem_ctrl(4, 6, 8, 7);
+        let b = mem_ctrl(4, 6, 8, 7);
+        a.check().unwrap();
+        assert_eq!(a.num_ands(), b.num_ands());
+        assert!(a.num_inputs() > 4 * 6);
+        assert!(a.num_outputs() > 16);
+        let c = mem_ctrl(4, 6, 8, 8);
+        assert_ne!(
+            dacpara_aig::aiger::to_string(&a),
+            dacpara_aig::aiger::to_string(&c),
+            "different seeds must differ structurally"
+        );
+    }
+
+    #[test]
+    fn mem_ctrl_routes_granted_data() {
+        // One port requesting: its data must appear on the addressed bank.
+        let aig = mem_ctrl(2, 4, 4, 1);
+        // inputs: addr0 (4), addr1 (4), req0, req1, data0 (4), data1 (4)
+        let mut inputs = vec![false; aig.num_inputs()];
+        // port0 -> bank 0b0011, requesting, data 0b1010
+        inputs[0] = true;
+        inputs[1] = true;
+        inputs[8] = true; // req0
+        inputs[10] = false;
+        for (k, bit) in [false, true, false, true].iter().enumerate() {
+            inputs[10 + k] = *bit;
+        }
+        let out = simulate_bools(&aig, &inputs);
+        // Outputs: per bank (granted, data[4]); bank 3 is at offset 3*5.
+        let bank = 3usize;
+        assert!(out[bank * 5], "bank 3 must be granted");
+        let data: Vec<bool> = out[bank * 5 + 1..bank * 5 + 5].to_vec();
+        assert_eq!(data, vec![false, true, false, true]);
+    }
+}

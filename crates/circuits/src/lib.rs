@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Benchmark circuit generators standing in for the EPFL suite.
+//!
+//! The paper evaluates on the EPFL Arithmetic and Random/Control sets
+//! (enlarged with ABC's `double`) plus the MtM ("More than a Million
+//! gates") set. Those exact netlists are external artifacts; this crate
+//! generates circuits *of the same kind and shape* from scratch — a real
+//! array multiplier for `mult`, a restoring divider for `div`, a popcount
+//! majority for `voter`, an iterative-squaring `log2`, and a seeded
+//! high-fanout random fabric for the MtM set. See `DESIGN.md` §2 for the
+//! substitution argument.
+//!
+//! # Example
+//!
+//! ```
+//! use dacpara_aig::AigRead;
+//! use dacpara_circuits::{full_suite, Scale};
+//!
+//! let suite = full_suite(Scale::Test);
+//! assert_eq!(suite.len(), 12); // 9 arithmetic/control + 3 MtM
+//! for bench in &suite {
+//!     assert!(bench.aig.num_ands() > 0, "{}", bench.name);
+//! }
+//! ```
+
+pub mod arith;
+mod builder;
+pub mod control;
+pub mod more;
+mod mtm;
+mod suite;
+
+pub use builder::{Builder, Word};
+pub use mtm::{mtm, MtmParams};
+pub use suite::{
+    arithmetic_suite, double, doubled, full_suite, mtm_suite, replicate, Benchmark, Scale,
+};

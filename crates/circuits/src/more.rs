@@ -1,0 +1,224 @@
+//! Additional EPFL-style generators beyond the paper's Table 1 set: the
+//! rest of the arithmetic/control families a downstream user would expect
+//! (`bar`, `max`, `dec`, `arbiter`, `priority`, `int2float`-ish). They are
+//! not used by the paper-reproduction harness but round out the suite for
+//! general benchmarking.
+
+use dacpara_aig::{Aig, Lit};
+
+use crate::builder::{Builder, Word};
+
+/// `bar`: a logarithmic barrel shifter (`data >> shift`, zero filled).
+pub fn barrel_shifter(data_bits: usize) -> Aig {
+    let shift_bits = usize::BITS as usize - (data_bits.max(2) - 1).leading_zeros() as usize;
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let data = b.input_word(data_bits);
+    let shift = b.input_word(shift_bits);
+    let out = b.shr_barrel(&data, &shift);
+    b.output_word(&out);
+    aig
+}
+
+/// `max`: the maximum of four unsigned words (a comparator/mux tree).
+pub fn max4(w: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let xs: Vec<Word> = (0..4).map(|_| b.input_word(w)).collect();
+    let m01 = {
+        let ge = b.ge(&xs[0], &xs[1]);
+        b.mux_word(ge, &xs[0], &xs[1])
+    };
+    let m23 = {
+        let ge = b.ge(&xs[2], &xs[3]);
+        b.mux_word(ge, &xs[2], &xs[3])
+    };
+    let ge = b.ge(&m01, &m23);
+    let m = b.mux_word(ge, &m01, &m23);
+    b.output_word(&m);
+    aig
+}
+
+/// `dec`: a full `n`-to-`2^n` decoder.
+pub fn decoder(n: usize) -> Aig {
+    assert!(n <= 12, "decoder width capped at 12 (4096 outputs)");
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let sel = b.input_word(n);
+    // Build recursively: half-decoders ANDed pairwise, sharing subterms.
+    // Bits are consumed MSB-first so that output `i` corresponds to the
+    // select value `i` (the first-processed bit lands in the high digit).
+    let mut terms: Vec<Lit> = vec![Lit::TRUE];
+    for &bit in sel.bits().iter().rev() {
+        let mut next = Vec::with_capacity(terms.len() * 2);
+        for &t in &terms {
+            next.push(b.aig().add_and(t, !bit));
+            next.push(b.aig().add_and(t, bit));
+        }
+        terms = next;
+    }
+    for t in terms {
+        b.aig().add_output(t);
+    }
+    aig
+}
+
+/// `arbiter`: a round-robin-free fixed-priority arbiter with `n`
+/// requesters: grant goes to the lowest-index active request.
+pub fn arbiter(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    let reqs: Vec<Lit> = (0..n).map(|_| aig.add_input()).collect();
+    let mut blocked = Lit::FALSE;
+    for &r in &reqs {
+        let grant = aig.add_and(r, !blocked);
+        aig.add_output(grant);
+        blocked = aig.add_or(blocked, r);
+    }
+    aig.add_output(blocked); // "any grant" flag
+    aig
+}
+
+/// `priority`: a priority encoder over `n` request lines (index of the
+/// highest-priority = lowest-index active line, plus a valid flag).
+pub fn priority(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let reqs = b.input_word(n);
+    // Reverse so the *lowest* index wins in the shared priority encoder
+    // (which prefers the most significant set bit).
+    let reversed = Word(reqs.bits().iter().rev().copied().collect());
+    let (idx, valid) = b.priority_encode(&reversed);
+    // Convert back: winner = n-1-idx.
+    let nm1 = b.constant(idx.width(), (n - 1) as u64);
+    let winner = b.sub(&nm1, &idx).resized(idx.width());
+    b.output_word(&winner);
+    b.aig().add_output(valid);
+    aig
+}
+
+/// `int2float`-style converter: unsigned integer to a tiny custom float
+/// (exponent = position of the leading one, mantissa = next bits) —
+/// normalization via priority encoder + barrel shifter, like the EPFL
+/// `int2float`.
+pub fn int2float(int_bits: usize, mantissa_bits: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut b = Builder::new(&mut aig);
+    let x = b.input_word(int_bits);
+    let (exp, nonzero) = b.priority_encode(&x);
+    let top = b.constant(exp.width(), (int_bits - 1) as u64);
+    let shift = b.sub(&top, &exp).resized(exp.width());
+    let normalized = b.shl_barrel(&x, &shift);
+    let mantissa: Vec<Lit> = (0..mantissa_bits)
+        .map(|k| normalized.bits()[int_bits - 1 - mantissa_bits + k])
+        .collect();
+    b.output_word(&exp);
+    b.output_word(&Word(mantissa));
+    b.aig().add_output(nonzero);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacpara_aig::AigRead;
+    use dacpara_equiv::simulate_bools;
+
+    fn eval(aig: &Aig, inputs: u64, n_in: usize) -> u64 {
+        let bits: Vec<bool> = (0..n_in).map(|k| inputs >> k & 1 != 0).collect();
+        let out = simulate_bools(aig, &bits);
+        out.iter()
+            .enumerate()
+            .fold(0u64, |acc, (k, &b)| acc | (b as u64) << k)
+    }
+
+    #[test]
+    fn barrel_shifts() {
+        let aig = barrel_shifter(8); // 3 shift bits
+        for (x, s) in [(0b1011_0000u64, 4u64), (0xFF, 1), (0x81, 7), (0x5A, 0)] {
+            let got = eval(&aig, x | s << 8, 11) & 0xFF;
+            assert_eq!(got, x >> s, "{x:#x} >> {s}");
+        }
+    }
+
+    #[test]
+    fn max4_selects_maximum() {
+        let aig = max4(4);
+        for vals in [[3u64, 9, 1, 7], [15, 15, 0, 2], [0, 0, 0, 0], [1, 2, 3, 4]] {
+            let packed = vals
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (k, &v)| acc | v << (4 * k));
+            let got = eval(&aig, packed, 16);
+            assert_eq!(got, *vals.iter().max().unwrap(), "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let aig = decoder(4);
+        assert_eq!(aig.num_outputs(), 16);
+        for sel in 0..16u64 {
+            let out = eval(&aig, sel, 4);
+            assert_eq!(out, 1 << sel, "select {sel}");
+        }
+    }
+
+    #[test]
+    fn arbiter_grants_lowest_active() {
+        let aig = arbiter(6);
+        for reqs in [0b000000u64, 0b010100, 0b100000, 0b111111] {
+            let out = eval(&aig, reqs, 6);
+            let grants = out & 0b111111;
+            let any = out >> 6 & 1;
+            if reqs == 0 {
+                assert_eq!(grants, 0);
+                assert_eq!(any, 0);
+            } else {
+                let lowest = reqs.trailing_zeros();
+                assert_eq!(grants, 1 << lowest, "reqs {reqs:06b}");
+                assert_eq!(any, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn priority_reports_lowest_index() {
+        let aig = priority(8);
+        for reqs in [0b0000_0001u64, 0b1000_0000, 0b0101_0100, 0] {
+            let out = eval(&aig, reqs, 8);
+            let idx = out & 0x7;
+            let valid = out >> 3 & 1;
+            if reqs == 0 {
+                assert_eq!(valid, 0);
+            } else {
+                assert_eq!(valid, 1);
+                assert_eq!(idx, reqs.trailing_zeros() as u64, "reqs {reqs:08b}");
+            }
+        }
+    }
+
+    #[test]
+    fn int2float_normalizes() {
+        let aig = int2float(8, 3);
+        for x in [1u64, 2, 5, 128, 255] {
+            let out = eval(&aig, x, 8);
+            let exp = out & 0x7;
+            assert_eq!(exp, 63 - x.leading_zeros() as u64, "int2float({x}) exponent");
+        }
+    }
+
+    #[test]
+    fn all_extra_generators_check() {
+        for aig in [
+            barrel_shifter(8),
+            max4(4),
+            decoder(5),
+            arbiter(8),
+            priority(8),
+            int2float(8, 3),
+        ] {
+            aig.check().unwrap();
+            assert!(aig.num_ands() > 0);
+        }
+    }
+}

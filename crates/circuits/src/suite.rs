@@ -1,0 +1,245 @@
+//! Named benchmark suites mirroring the paper's Table 1, plus the ABC
+//! `double` command.
+
+use dacpara_aig::{Aig, AigRead, Lit};
+
+use crate::arith;
+use crate::control;
+use crate::mtm::{mtm, MtmParams};
+
+/// `k` disjoint copies of `aig` (fresh inputs per copy, outputs
+/// concatenated) — `replicate(aig, 2)` is exactly ABC's `double`.
+pub fn replicate(aig: &Aig, k: usize) -> Aig {
+    assert!(k >= 1);
+    let mut out = Aig::with_capacity(k * aig.num_nodes());
+    for _ in 0..k {
+        let mut map = vec![Lit::FALSE; aig.slot_count()];
+        for &i in aig.inputs() {
+            map[i.index()] = out.add_input();
+        }
+        for n in dacpara_aig::topo_ands(aig) {
+            let [a, b] = aig.fanins(n);
+            let la = map[a.node().index()].xor(a.is_complement());
+            let lb = map[b.node().index()].xor(b.is_complement());
+            map[n.index()] = out.add_and(la, lb);
+        }
+        for &po in aig.outputs() {
+            out.add_output(map[po.node().index()].xor(po.is_complement()));
+        }
+    }
+    out
+}
+
+/// The ABC `double` command: two disjoint copies.
+pub fn double(aig: &Aig) -> Aig {
+    replicate(aig, 2)
+}
+
+/// `double` applied `times` times (`2^times` copies), as in the paper's
+/// `_10xd` benchmark names.
+pub fn doubled(aig: &Aig, times: u32) -> Aig {
+    replicate(aig, 1usize << times)
+}
+
+/// One named benchmark.
+#[derive(Debug)]
+pub struct Benchmark {
+    /// Name following the paper's convention (`mult_3xd`, `sixteen`, …).
+    pub name: String,
+    /// Which Table 1 source group the benchmark belongs to.
+    pub source: &'static str,
+    /// The circuit.
+    pub aig: Aig,
+}
+
+impl Benchmark {
+    /// Table 1 row: (name, PIs, POs, area, delay).
+    pub fn table1_row(&self) -> (String, usize, usize, usize, u32) {
+        (
+            self.name.clone(),
+            self.aig.num_inputs(),
+            self.aig.num_outputs(),
+            self.aig.num_ands(),
+            self.aig.depth(),
+        )
+    }
+}
+
+/// Suite scale. The paper runs 5–58 M-node circuits on a 64-core server;
+/// these presets shrink every generator proportionally so the whole
+/// evaluation fits a small container while keeping the *relative* size,
+/// depth and complexity profile of Table 1.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Seconds-scale: for unit and integration tests.
+    Test,
+    /// Default for `cargo bench` smoke runs.
+    Small,
+    /// Default for the `tables` harness.
+    Medium,
+}
+
+impl Scale {
+    /// How many times the arithmetic benchmarks are doubled.
+    fn doubles(self) -> u32 {
+        match self {
+            Scale::Test => 1,
+            Scale::Small => 2,
+            Scale::Medium => 3,
+        }
+    }
+
+    /// Generic width multiplier.
+    fn w(self, test: usize, small: usize, medium: usize) -> usize {
+        match self {
+            Scale::Test => test,
+            Scale::Small => small,
+            Scale::Medium => medium,
+        }
+    }
+}
+
+/// The arithmetic + random/control suite of Table 1 (`*_Nxd` names, where
+/// `N` is the number of `double` applications for this scale).
+pub fn arithmetic_suite(scale: Scale) -> Vec<Benchmark> {
+    let d = scale.doubles();
+    let arith_src = "Arithmetic";
+    let ctrl_src = "Random/Control";
+    let named = |stem: &str| format!("{stem}_{d}xd");
+    let mut out = Vec::new();
+    let mut push = |name: String, source: &'static str, aig: Aig| {
+        out.push(Benchmark {
+            name,
+            source,
+            aig: doubled(&aig, d),
+        });
+    };
+    push(named("sin"), arith_src, arith::sin(scale.w(6, 8, 10)));
+    push(
+        named("voter"),
+        ctrl_src,
+        control::voter(scale.w(25, 101, 201)),
+    );
+    push(named("square"), arith_src, arith::square(scale.w(6, 12, 18)));
+    push(named("sqrt"), arith_src, arith::sqrt(scale.w(5, 8, 12)));
+    push(named("mult"), arith_src, arith::multiplier(scale.w(6, 12, 18)));
+    push(
+        named("log2"),
+        arith_src,
+        arith::log2(scale.w(8, 12, 16), scale.w(2, 4, 6)),
+    );
+    push(
+        named("mem"),
+        ctrl_src,
+        control::mem_ctrl(scale.w(3, 6, 10), scale.w(5, 7, 8), scale.w(4, 8, 12), 0xC0FFEE),
+    );
+    push(named("hyp"), arith_src, arith::hypotenuse(scale.w(4, 7, 10)));
+    push(named("div"), arith_src, arith::divider(scale.w(6, 10, 14)));
+    out
+}
+
+/// The MtM-style large/complex suite (`sixteen`, `twenty`, `twentythree`),
+/// never doubled — matching the paper's protocol.
+pub fn mtm_suite(scale: Scale) -> Vec<Benchmark> {
+    let unit = match scale {
+        Scale::Test => 800,
+        Scale::Small => 4_000,
+        Scale::Medium => 16_000,
+    };
+    [("sixteen", 16usize, 117, 50), ("twenty", 20, 137, 60), ("twentythree", 23, 153, 68)]
+        .into_iter()
+        .map(|(name, factor, inputs, outputs)| Benchmark {
+            name: name.to_string(),
+            source: "MtM",
+            aig: mtm(&MtmParams {
+                inputs,
+                gates: unit * factor / 16,
+                outputs,
+                seed: factor as u64,
+            }),
+        })
+        .collect()
+}
+
+/// The full Table 1 suite: arithmetic + random/control + MtM.
+pub fn full_suite(scale: Scale) -> Vec<Benchmark> {
+    let mut all = arithmetic_suite(scale);
+    all.extend(mtm_suite(scale));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacpara_equiv::{check_equivalence, CecConfig, CecResult};
+
+    #[test]
+    fn double_duplicates_everything() {
+        let base = arith::adder(4);
+        let d = double(&base);
+        d.check().unwrap();
+        assert_eq!(d.num_inputs(), 2 * base.num_inputs());
+        assert_eq!(d.num_outputs(), 2 * base.num_outputs());
+        assert_eq!(d.num_ands(), 2 * base.num_ands());
+        assert_eq!(d.depth(), base.depth(), "double keeps complexity");
+    }
+
+    #[test]
+    fn doubled_grows_geometrically() {
+        let base = arith::adder(3);
+        let d3 = doubled(&base, 3);
+        assert_eq!(d3.num_ands(), 8 * base.num_ands());
+    }
+
+    #[test]
+    fn each_copy_is_equivalent_to_the_original() {
+        let base = arith::multiplier(3);
+        let d = double(&base);
+        // Extract copy #2 as its own AIG by restricting inputs/outputs.
+        let mut second = Aig::new();
+        let n_in = base.num_inputs();
+        let n_out = base.num_outputs();
+        let mut map = vec![Lit::FALSE; d.slot_count()];
+        // Feed fresh inputs to copy 2, constants to copy 1.
+        for (k, &i) in d.inputs().iter().enumerate() {
+            map[i.index()] = if k < n_in {
+                Lit::FALSE
+            } else {
+                second.add_input()
+            };
+        }
+        for n in dacpara_aig::topo_ands(&d) {
+            let [a, b] = d.fanins(n);
+            let la = map[a.node().index()].xor(a.is_complement());
+            let lb = map[b.node().index()].xor(b.is_complement());
+            map[n.index()] = second.add_and(la, lb);
+        }
+        for &po in &d.outputs()[n_out..] {
+            second.add_output(map[po.node().index()].xor(po.is_complement()));
+        }
+        assert_eq!(
+            check_equivalence(&base, &second, &CecConfig::default()),
+            CecResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn test_scale_suite_is_complete_and_valid() {
+        let suite = full_suite(Scale::Test);
+        assert_eq!(suite.len(), 12);
+        let names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+        assert!(names.contains(&"sixteen"));
+        assert!(names.iter().any(|n| n.starts_with("mult_")));
+        for b in &suite {
+            b.aig.check().unwrap();
+            assert!(b.aig.num_ands() > 0, "{} is empty", b.name);
+        }
+    }
+
+    #[test]
+    fn mtm_sizes_scale_by_name() {
+        let suite = mtm_suite(Scale::Test);
+        let area: Vec<usize> = suite.iter().map(|b| b.aig.num_ands()).collect();
+        assert!(area[0] < area[1] && area[1] < area[2]);
+    }
+}

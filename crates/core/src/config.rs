@@ -1,0 +1,171 @@
+//! Rewriting configuration shared by every engine.
+
+use dacpara_cut::CutConfig;
+use dacpara_npn::{ClassId, ClassRegistry};
+
+/// Parameters of a rewriting pass.
+///
+/// The paper's experimental configurations map onto this struct:
+///
+/// * **Table 2 / DACPara-P2** — [`RewriteConfig::rewrite_op`]: the ABC
+///   `rewrite` operator setup (134 NPN classes, unlimited cuts and
+///   structures, one run).
+/// * **DACPara-P1** — [`RewriteConfig::p1`]: 8 cuts per node, 5 structures
+///   per class, two runs (the GPU papers' `drw`-style setup, except P1 can
+///   only use the 134 `rewrite` classes — §5.2).
+/// * **GPU emulations (DAC'22 / TCAD'23)** — [`RewriteConfig::drw_op`]:
+///   all 222 classes, 8 cuts, 5 structures, two runs.
+#[derive(Clone, Debug)]
+pub struct RewriteConfig {
+    /// Worker threads for the parallel engines (the paper uses 40).
+    pub threads: usize,
+    /// Cuts kept per node (`0` = unlimited).
+    pub cut_limit: usize,
+    /// Structures evaluated per NPN class (`0` = all).
+    pub max_structures: usize,
+    /// Number of NPN classes evaluated (222 = all; 134 mirrors `rewrite`).
+    pub num_classes: usize,
+    /// Accept zero-gain replacements (ABC's `-z`).
+    pub use_zeros: bool,
+    /// Reject replacements that increase the node's level (ABC `rewrite`
+    /// preserves levels by default).
+    pub preserve_level: bool,
+    /// Arena headroom factor for the concurrent engines.
+    pub headroom: f64,
+    /// How many times the whole pass is run (the GPU comparisons execute
+    /// the program twice).
+    pub runs: usize,
+    /// Divide nodes into per-level worklists (Fig. 1). Disabling this is an
+    /// ablation: one global worklist still runs the three split stages.
+    pub level_partition: bool,
+    /// Re-enumerate and match stored cuts whose leaves changed (§4.4).
+    /// Disabling this is an ablation: stale results are simply skipped.
+    pub revalidate: bool,
+    /// Use the enumeration-refined structure library (slower first-use
+    /// build, slightly better structures; see `dacpara_nst::refine`).
+    pub refined_library: bool,
+}
+
+impl RewriteConfig {
+    /// The ABC `rewrite` operator configuration (Table 2, DACPara-P2).
+    pub fn rewrite_op() -> RewriteConfig {
+        RewriteConfig {
+            threads: 1,
+            cut_limit: 0,
+            max_structures: 0,
+            num_classes: 134,
+            use_zeros: false,
+            preserve_level: true,
+            headroom: 1.6,
+            runs: 1,
+            level_partition: true,
+            revalidate: true,
+            refined_library: false,
+        }
+    }
+
+    /// The paper's P1 configuration: 8 cuts, 5 structures, two runs, 134
+    /// classes.
+    pub fn p1() -> RewriteConfig {
+        RewriteConfig {
+            cut_limit: 8,
+            max_structures: 5,
+            runs: 2,
+            ..RewriteConfig::rewrite_op()
+        }
+    }
+
+    /// The `drw`-style configuration used by the GPU methods: all 222
+    /// classes, 8 cuts, 5 structures, two runs.
+    pub fn drw_op() -> RewriteConfig {
+        RewriteConfig {
+            num_classes: 222,
+            ..RewriteConfig::p1()
+        }
+    }
+
+    /// This configuration with a different thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> RewriteConfig {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The cut-enumeration configuration.
+    pub fn cut_config(&self) -> CutConfig {
+        if self.cut_limit == 0 {
+            CutConfig::unlimited()
+        } else {
+            CutConfig::limited(self.cut_limit)
+        }
+    }
+
+    /// Per-class allowance table (index = [`ClassId`]).
+    pub fn allowed_classes(&self) -> Vec<bool> {
+        let reg = ClassRegistry::global();
+        let mut allowed = vec![false; reg.len()];
+        for id in reg.practical(self.num_classes.min(reg.len())) {
+            allowed[id as usize] = true;
+        }
+        allowed
+    }
+
+    /// Number of structures to scan for one class.
+    pub fn structure_budget(&self, available: usize) -> usize {
+        if self.max_structures == 0 {
+            available
+        } else {
+            self.max_structures.min(available)
+        }
+    }
+
+    /// Whether a class id passes the filter (convenience over
+    /// [`RewriteConfig::allowed_classes`] for one-off queries).
+    pub fn class_allowed(&self, allowed: &[bool], id: ClassId) -> bool {
+        allowed.get(id as usize).copied().unwrap_or(false)
+    }
+}
+
+impl Default for RewriteConfig {
+    fn default() -> Self {
+        RewriteConfig::rewrite_op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_paper() {
+        let p2 = RewriteConfig::rewrite_op();
+        assert_eq!(p2.num_classes, 134);
+        assert_eq!(p2.cut_limit, 0);
+        assert_eq!(p2.runs, 1);
+        let p1 = RewriteConfig::p1();
+        assert_eq!(p1.cut_limit, 8);
+        assert_eq!(p1.max_structures, 5);
+        assert_eq!(p1.runs, 2);
+        assert_eq!(p1.num_classes, 134);
+        let drw = RewriteConfig::drw_op();
+        assert_eq!(drw.num_classes, 222);
+    }
+
+    #[test]
+    fn class_filter_sizes() {
+        let cfg = RewriteConfig::rewrite_op();
+        let allowed = cfg.allowed_classes();
+        assert_eq!(allowed.iter().filter(|&&b| b).count(), 134);
+        let all = RewriteConfig::drw_op().allowed_classes();
+        assert_eq!(all.iter().filter(|&&b| b).count(), 222);
+    }
+
+    #[test]
+    fn structure_budget_caps() {
+        let cfg = RewriteConfig::p1();
+        assert_eq!(cfg.structure_budget(10), 5);
+        assert_eq!(cfg.structure_budget(3), 3);
+        let unlimited = RewriteConfig::rewrite_op();
+        assert_eq!(unlimited.structure_budget(10), 10);
+    }
+}

@@ -1,0 +1,463 @@
+//! DACPara: divide-and-conquer parallel logic rewriting (the paper's
+//! Algorithm 1 and §§4.2–4.4).
+//!
+//! The pass divides the AND nodes by their initial level into `Worklists`
+//! and processes each list in three barrier-separated parallel stages:
+//!
+//! 1. **Parallel cut enumeration** (§4.2) — fills the shared cut memo
+//!    bottom-up; the memo's generation tags take the place of the paper's
+//!    enumeration locks (conflicts there are "almost negligible").
+//! 2. **Parallel evaluation** (§4.3) — completely lock-free: each worker
+//!    evaluates nodes against thread-local MFFC scratch and the
+//!    decentralized structural hash, storing the best result in `prepInfo`.
+//! 3. **Parallel replacement** (§4.4) — based on *dynamic global
+//!    information*: each stored result is validated against the latest
+//!    graph (leaf liveness + generation stamps, re-enumeration with
+//!    leaf-set matching, NPN-class checking for recycled IDs — the Fig. 3
+//!    protocol), re-evaluated so that "each replacement must obtain a
+//!    positive gain on the latest AIG", and only then applied under
+//!    Galois-style exclusive locks on the relevant nodes. Enumeration
+//!    results of deleted nodes' transitive fanouts are recursively cleared.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use dacpara_aig::concurrent::ConcurrentAig;
+use dacpara_aig::{Aig, AigError, AigRead, NodeId};
+use dacpara_cut::CutStore;
+use dacpara_galois::{chunk_size, run_spmd, LockTable, SpecStats, WorkQueue};
+use dacpara_npn::canon;
+use parking_lot::Mutex;
+
+use crate::eval::{
+    build_replacement, evaluate_node, reevaluate_structure, Candidate, EvalContext,
+};
+use crate::lockstep::backoff;
+use crate::validity::{cut_cover, verify_cut};
+use crate::{RewriteConfig, RewriteStats};
+
+/// Atomic counters shared by the replacement operators.
+#[derive(Default)]
+struct Counters {
+    replacements: AtomicU64,
+    stale_skipped: AtomicU64,
+    revalidated: AtomicU64,
+}
+
+/// Runs the DACPara pass.
+///
+/// # Errors
+///
+/// Returns [`AigError::CapacityExhausted`] if the arena headroom
+/// ([`RewriteConfig::headroom`]) proves insufficient.
+///
+/// # Example
+///
+/// ```
+/// use dacpara::{rewrite_dacpara, RewriteConfig};
+/// use dacpara_circuits::control;
+///
+/// let mut aig = control::voter(15);
+/// let stats = rewrite_dacpara(&mut aig, &RewriteConfig::rewrite_op().with_threads(2))?;
+/// assert!(stats.area_after < stats.area_before);
+/// # Ok::<(), dacpara_aig::AigError>(())
+/// ```
+pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStats, AigError> {
+    let start = Instant::now();
+    let ctx = EvalContext::new(cfg);
+    let mut stats = RewriteStats {
+        engine: "dacpara".into(),
+        area_before: aig.num_ands(),
+        delay_before: aig.depth(),
+        ..Default::default()
+    };
+    let spec = SpecStats::new();
+    let counters = Counters::default();
+    let stage_ns = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+    for _ in 0..cfg.runs.max(1) {
+        let shared = ConcurrentAig::from_aig(aig, cfg.headroom);
+        let store = CutStore::new(shared.capacity(), cfg.cut_config());
+        let locks = LockTable::new(shared.capacity());
+        let prep: Vec<Mutex<Option<Candidate>>> =
+            (0..shared.capacity()).map(|_| Mutex::new(None)).collect();
+
+        // --- Node dividing (Fig. 1): one worklist per initial level
+        // (or a single global worklist under the ablation flag).
+        let mut worklists: Vec<Vec<NodeId>> = Vec::new();
+        if cfg.level_partition {
+            for n in dacpara_aig::topo_ands(&shared) {
+                let level = shared.level(n) as usize;
+                if worklists.len() <= level {
+                    worklists.resize_with(level + 1, Vec::new);
+                }
+                worklists[level].push(n);
+            }
+        } else {
+            worklists.push(dacpara_aig::topo_ands(&shared));
+        }
+        stats.worklists += worklists.len();
+
+        let queue = WorkQueue::new(0);
+        let error: Mutex<Option<AigError>> = Mutex::new(None);
+        let stage_start: Mutex<Instant> = Mutex::new(Instant::now());
+
+        {
+            let (shared, store, locks, prep, ctx, queue, error, spec, counters, stage_ns) = (
+                &shared, &store, &locks, &prep, &ctx, &queue, &error, &spec, &counters,
+                &stage_ns,
+            );
+            let worklists = &worklists;
+            let stage_start = &stage_start;
+            let cfg = &*cfg;
+            run_spmd(cfg.threads, |w| {
+                let owner = w.id as u32 + 1;
+                let bail = || error.lock().is_some();
+                let begin_stage = |list_len: usize| {
+                    if w.barrier() {
+                        queue.reset(list_len);
+                        *stage_start.lock() = Instant::now();
+                    }
+                    w.barrier();
+                };
+                let end_stage = |stage: usize| {
+                    if w.barrier() {
+                        let ns = stage_start.lock().elapsed().as_nanos() as u64;
+                        stage_ns[stage].fetch_add(ns, Ordering::Relaxed);
+                    }
+                    w.barrier();
+                };
+
+                for list in worklists {
+                    let chunk = chunk_size(list.len(), w.num_threads);
+
+                    // -------- Stage 1: parallel cut enumeration.
+                    begin_stage(list.len());
+                    if !bail() {
+                        while let Some(range) = queue.next_chunk(chunk) {
+                            for i in range {
+                                let n = list[i];
+                                if shared.is_and(n) && shared.refs(n) > 0 {
+                                    let _ = store.try_cuts(shared, n);
+                                }
+                            }
+                        }
+                    }
+                    end_stage(0);
+
+                    // -------- Stage 2: parallel, lock-free evaluation.
+                    begin_stage(list.len());
+                    if !bail() {
+                        while let Some(range) = queue.next_chunk(chunk) {
+                            for i in range {
+                                let n = list[i];
+                                if !shared.is_and(n) || shared.refs(n) == 0 {
+                                    continue;
+                                }
+                                let cand = store
+                                    .try_cuts(shared, n)
+                                    .and_then(|cuts| evaluate_node(shared, n, &cuts, ctx));
+                                *prep[n.index()].lock() = cand;
+                            }
+                        }
+                    }
+                    end_stage(1);
+
+                    // -------- Stage 3: parallel validated replacement.
+                    begin_stage(list.len());
+                    if !bail() {
+                        while let Some(range) = queue.next_chunk(chunk) {
+                            if bail() {
+                                break;
+                            }
+                            for i in range {
+                                let n = list[i];
+                                let Some(cand) = prep[n.index()].lock().take() else {
+                                    continue;
+                                };
+                                if let Err(e) = replace_operator(
+                                    shared, store, locks, ctx, n, cand, owner, spec, counters,
+                                    cfg.revalidate,
+                                ) {
+                                    *error.lock() = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    end_stage(2);
+
+                    // Leader restores strash canonicity between lists.
+                    if w.barrier() {
+                        shared.canonicalize();
+                    }
+                    w.barrier();
+                }
+            });
+        }
+        if let Some(e) = error.lock().take() {
+            return Err(e);
+        }
+        spec.merge(locks.stats());
+        shared.canonicalize();
+        shared.cleanup();
+        *aig = shared.to_aig();
+    }
+
+    aig.recompute_levels();
+    stats.area_after = aig.num_ands();
+    stats.delay_after = aig.depth();
+    stats.replacements = counters.replacements.load(Ordering::Relaxed);
+    stats.stale_skipped = counters.stale_skipped.load(Ordering::Relaxed);
+    stats.revalidated = counters.revalidated.load(Ordering::Relaxed);
+    stats.spec = spec.snapshot();
+    for (i, ns) in stage_ns.iter().enumerate() {
+        stats.stage_times[i] = std::time::Duration::from_nanos(ns.load(Ordering::Relaxed));
+    }
+    stats.time = start.elapsed();
+    Ok(stats)
+}
+
+/// The §4.4 replacement operator for one node.
+#[allow(clippy::too_many_arguments)]
+fn replace_operator(
+    shared: &ConcurrentAig,
+    store: &CutStore,
+    locks: &LockTable,
+    ctx: &EvalContext,
+    n: NodeId,
+    cand: Candidate,
+    owner: u32,
+    spec: &SpecStats,
+    counters: &Counters,
+    revalidate: bool,
+) -> Result<(), AigError> {
+    let mut spins = 0u32;
+    let mut revalidation_counted = false;
+    loop {
+        let attempt = Instant::now();
+        if !shared.is_and(n) || shared.refs(n) == 0 {
+            counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+
+        // ---- Triage: are the stored leaves untouched (Theorem 1 case)?
+        let leaves_fresh = cand
+            .leaves
+            .iter()
+            .zip(&cand.leaf_gens)
+            .all(|(&l, &g)| shared.is_alive(l) && shared.generation(l) == g);
+        if !leaves_fresh {
+            if !revalidate {
+                counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            if !revalidation_counted {
+                counters.revalidated.fetch_add(1, Ordering::Relaxed);
+                revalidation_counted = true;
+            }
+            // §4.4: re-enumerate on the latest AIG and match the stored cut
+            // against the fresh cut set.
+            store.invalidate(n);
+            let Some(fresh) = store.try_cuts(shared, n) else {
+                if !shared.is_and(n) {
+                    counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                backoff(&mut spins);
+                continue;
+            };
+            if !fresh.iter().any(|c| c.leaves() == &cand.leaves[..]) {
+                counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
+                return Ok(()); // a missed optimization opportunity (§5.2)
+            }
+        }
+
+        // ---- Phase-1 locks: the node, the cut cone, and the fanouts.
+        let Some(cover_hint) = cut_cover(shared, n, &cand.leaves) else {
+            counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        };
+        let mut region: Vec<u32> = vec![n.raw()];
+        region.extend(cand.leaves.iter().map(|l| l.raw()));
+        region.extend(cover_hint.iter().map(|c| c.raw()));
+        region.extend(shared.fanout_ids(n).iter().map(|f| f.raw()));
+        let Some(guard) = locks.try_acquire(owner, region) else {
+            spec.record_abort(attempt.elapsed());
+            backoff(&mut spins);
+            continue;
+        };
+
+        // ---- Under locks: recompute the cover and the cut function.
+        let Some((cover, tt)) = verify_cut(shared, n, &cand.leaves) else {
+            counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        };
+        if cover
+            .iter()
+            .any(|c| guard.ids().binary_search(&c.raw()).is_err())
+        {
+            // The cone shifted between planning and locking — replan.
+            drop(guard);
+            spec.record_abort(attempt.elapsed());
+            backoff(&mut spins);
+            continue;
+        }
+        let mut cand = cand.clone();
+        if tt != cand.tt {
+            // A leaf slot was recycled with different logic (Fig. 3): the
+            // stored structure is only reusable if the NPN class matches.
+            if ctx.registry.class_of(tt) != cand.class {
+                counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            cand.tt = tt;
+            cand.transform = canon(tt).1;
+        }
+
+        // ---- Re-evaluate on the latest AIG: gain must (still) be positive.
+        let re = reevaluate_structure(shared, n, &cand, ctx);
+        let gain_ok = re.gain > 0 || (ctx.use_zeros && re.gain >= 0);
+        let level_ok = !ctx.preserve_level || re.level <= shared.level(n);
+        if !(gain_ok && level_ok) {
+            counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
+            spec.record_commit(attempt.elapsed());
+            return Ok(());
+        }
+
+        // ---- Phase-2 locks: nodes the new structure will share.
+        let extra: Vec<u32> = re
+            .shared_nodes
+            .iter()
+            .map(|s| s.raw())
+            .filter(|id| guard.ids().binary_search(id).is_err())
+            .collect();
+        let _extra_guard = if extra.is_empty() {
+            None
+        } else {
+            match locks.try_acquire(owner, extra) {
+                Some(g) => Some(g),
+                None => {
+                    drop(guard);
+                    spec.record_abort(attempt.elapsed());
+                    backoff(&mut spins);
+                    continue;
+                }
+            }
+        };
+
+        // ---- Apply: clear stale enumeration results, build, replace.
+        for &f in &re.freed {
+            store.invalidate(f);
+        }
+        store.invalidate_tfo(shared, n);
+        let root = build_replacement(&mut &*shared, &cand, ctx.lib)?;
+        if root.node() != n {
+            shared.replace_locked(n, root);
+            counters.replacements.fetch_add(1, Ordering::Relaxed);
+        }
+        spec.record_commit(attempt.elapsed());
+        return Ok(());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacpara_circuits::{arith, control, mtm, MtmParams};
+    use dacpara_equiv::{check_equivalence, CecConfig, CecResult};
+
+    fn cfg(threads: usize) -> RewriteConfig {
+        RewriteConfig {
+            num_classes: 222,
+            threads,
+            ..RewriteConfig::rewrite_op()
+        }
+    }
+
+    fn assert_equiv(before: &Aig, after: &Aig) {
+        // Bounded SAT budget: a counterexample is always a failure; an
+        // exhausted budget falls back on the (passing) simulation check.
+        let cfg = CecConfig {
+            sim_rounds: 32,
+            max_conflicts: 100_000,
+            seed: 0xDAC,
+        };
+        match check_equivalence(before, after, &cfg) {
+            CecResult::Equivalent | CecResult::Undecided => {}
+            CecResult::Inequivalent(_) => panic!("rewriting broke equivalence"),
+        }
+    }
+
+    #[test]
+    fn single_thread_reduces_and_stays_equivalent() {
+        let mut aig = control::voter(15);
+        let golden = aig.clone();
+        let stats = rewrite_dacpara(&mut aig, &cfg(1)).unwrap();
+        aig.check().unwrap();
+        assert!(stats.area_reduction() > 0, "{}", stats.summary());
+        assert_equiv(&golden, &aig);
+    }
+
+    #[test]
+    fn multi_thread_preserves_equivalence_on_random_logic() {
+        let mut aig = mtm(&MtmParams {
+            inputs: 32,
+            gates: 2500,
+            outputs: 12,
+            seed: 11,
+        });
+        let golden = aig.clone();
+        let stats = rewrite_dacpara(&mut aig, &cfg(4)).unwrap();
+        aig.check().unwrap();
+        assert!(stats.area_after <= stats.area_before);
+        assert_equiv(&golden, &aig);
+    }
+
+    #[test]
+    fn multi_thread_on_arithmetic() {
+        let mut aig = arith::multiplier(8);
+        let golden = aig.clone();
+        let stats = rewrite_dacpara(&mut aig, &cfg(4)).unwrap();
+        aig.check().unwrap();
+        assert!(stats.worklists > 1, "level partition must have many lists");
+        assert_equiv(&golden, &aig);
+    }
+
+    #[test]
+    fn quality_tracks_the_serial_baseline() {
+        // §5.2: DACPara loses only a fraction of a percent of area
+        // reduction versus the fully serial baseline.
+        let gen = || control::voter(101);
+        let mut serial = gen();
+        let s = crate::rewrite_serial(&mut serial, &cfg(1));
+        let mut para = gen();
+        let p = rewrite_dacpara(&mut para, &cfg(4)).unwrap();
+        let slack = 1 + s.area_reduction() / 10;
+        assert!(
+            p.area_reduction() + slack >= s.area_reduction(),
+            "serial {} vs dacpara {}",
+            s.summary(),
+            p.summary()
+        );
+    }
+
+    #[test]
+    fn two_runs_converge() {
+        let mut aig = arith::square(6);
+        let golden = aig.clone();
+        let mut c = cfg(2);
+        c.runs = 2;
+        let stats = rewrite_dacpara(&mut aig, &c).unwrap();
+        aig.check().unwrap();
+        let _ = stats;
+        assert_equiv(&golden, &aig);
+    }
+
+    #[test]
+    fn stage_times_are_recorded() {
+        let mut aig = arith::multiplier(6);
+        let stats = rewrite_dacpara(&mut aig, &cfg(2)).unwrap();
+        assert!(stats.stage_times[1] > std::time::Duration::ZERO);
+    }
+}

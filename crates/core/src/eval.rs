@@ -1,0 +1,590 @@
+//! The evaluation stage: pick the best replacement structure for a node.
+//!
+//! Evaluation is the paper's hot stage (>90% of rewriting runtime, §4.3)
+//! and — crucially — it must not mutate the graph, so DACPara can run it
+//! with *no locks at all*. All bookkeeping that ABC does by temporarily
+//! dereferencing the graph is done here on thread-local scratch
+//! ([`dacpara_aig::mffc::simulate_deref`]).
+
+use std::collections::HashSet;
+
+use dacpara_aig::{Aig, AigError, AigRead, Lit, NodeId};
+use dacpara_aig::concurrent::ConcurrentAig;
+use dacpara_aig::mffc::mffc_with_cut;
+use dacpara_cut::Cut;
+use dacpara_npn::{canon, ClassId, ClassRegistry, NpnTransform, Tt4};
+use dacpara_nst::{NpnLibrary, StructIn, Structure};
+
+use crate::RewriteConfig;
+
+/// Shared, read-only context for evaluation.
+#[derive(Clone)]
+pub struct EvalContext {
+    /// The structure library.
+    pub lib: &'static NpnLibrary,
+    /// The class registry.
+    pub registry: &'static ClassRegistry,
+    /// Per-class filter (index = class id).
+    pub allowed: Vec<bool>,
+    /// Structures scanned per class (`0` = all).
+    pub max_structures: usize,
+    /// Accept zero-gain candidates.
+    pub use_zeros: bool,
+    /// Reject candidates that raise the root's level.
+    pub preserve_level: bool,
+    /// Count logical sharing with existing nodes (the TCAD'23 emulation
+    /// sets this to `false` — replacement cost ignores the structural
+    /// hash, which is exactly the "static information" quality deficit the
+    /// paper discusses).
+    pub count_sharing: bool,
+}
+
+impl EvalContext {
+    /// Builds the context for a configuration.
+    pub fn new(cfg: &RewriteConfig) -> EvalContext {
+        EvalContext {
+            lib: if cfg.refined_library {
+                NpnLibrary::global_refined()
+            } else {
+                NpnLibrary::global()
+            },
+            registry: ClassRegistry::global(),
+            allowed: cfg.allowed_classes(),
+            max_structures: cfg.max_structures,
+            use_zeros: cfg.use_zeros,
+            preserve_level: cfg.preserve_level,
+            count_sharing: true,
+        }
+    }
+}
+
+impl std::fmt::Debug for EvalContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalContext")
+            .field("allowed", &self.allowed.iter().filter(|&&b| b).count())
+            .field("max_structures", &self.max_structures)
+            .field("use_zeros", &self.use_zeros)
+            .field("preserve_level", &self.preserve_level)
+            .field("count_sharing", &self.count_sharing)
+            .finish()
+    }
+}
+
+/// A chosen replacement: what DACPara stores in `prepInfo` between the
+/// evaluation and replacement stages (§4.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// The cut's leaves, sorted ascending.
+    pub leaves: Vec<NodeId>,
+    /// Generation stamps of the leaves at evaluation time — the staleness
+    /// detector behind the paper's Fig. 3 discussion.
+    pub leaf_gens: Vec<u32>,
+    /// The cut function over the leaves.
+    pub tt: Tt4,
+    /// NPN class of the cut function.
+    pub class: ClassId,
+    /// Transform mapping the cut function onto the class representative.
+    pub transform: NpnTransform,
+    /// Index of the chosen structure within the class's library entry.
+    pub struct_idx: usize,
+    /// Evaluated gain (nodes saved − nodes added).
+    pub gain: i32,
+}
+
+/// Outcome of mapping one structure onto the current graph.
+#[derive(Debug)]
+struct Mapping {
+    added: u32,
+    /// `Some` when the whole structure resolves to an existing literal.
+    root: Option<Lit>,
+    level: u32,
+    /// Existing nodes the structure would share (the parallel engines must
+    /// lock these before building).
+    shared: Vec<NodeId>,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum MVal {
+    Real(Lit),
+    /// `idx`-th virtual (to-be-created) node, with edge complement.
+    Virt(u16, bool),
+}
+
+impl MVal {
+    fn xor(self, c: bool) -> MVal {
+        match self {
+            MVal::Real(l) => MVal::Real(l.xor(c)),
+            MVal::Virt(i, neg) => MVal::Virt(i, neg ^ c),
+        }
+    }
+}
+
+/// Evaluates every (non-trivial) cut of `n` and returns the best
+/// replacement candidate, if any beats the gain/level thresholds.
+pub fn evaluate_node<V: AigRead + ?Sized>(
+    view: &V,
+    n: NodeId,
+    cuts: &[Cut],
+    ctx: &EvalContext,
+) -> Option<Candidate> {
+    let mut best: Option<Candidate> = None;
+    for cut in cuts {
+        if cut.len() < 2 {
+            continue;
+        }
+        if let Some(cand) = evaluate_cut(view, n, cut, ctx) {
+            let better = match &best {
+                None => true,
+                Some(b) => cand.gain > b.gain,
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+    }
+    best
+}
+
+/// Evaluates a single cut of `n`.
+pub fn evaluate_cut<V: AigRead + ?Sized>(
+    view: &V,
+    n: NodeId,
+    cut: &Cut,
+    ctx: &EvalContext,
+) -> Option<Candidate> {
+    debug_assert!(cut.len() >= 2);
+    let leaves = cut.leaves();
+    let tt = cut.tt();
+    let class = ctx.registry.class_of(tt);
+    if !ctx.allowed[class as usize] {
+        return None;
+    }
+    let freed = mffc_with_cut(view, n, leaves);
+    let saved = freed.saved() as i32;
+    let unavailable: HashSet<NodeId> = freed.freed.iter().copied().collect();
+    let (rep, transform) = canon(tt);
+    debug_assert_eq!(rep, ctx.registry.representative(class));
+
+    let structures = ctx.lib.structures(class);
+    let budget = if ctx.max_structures == 0 {
+        structures.len()
+    } else {
+        ctx.max_structures.min(structures.len())
+    };
+
+    let root_level = view.level(n);
+    let mut best: Option<(i32, u32, u32, usize)> = None; // gain, added, level, idx
+    for (si, s) in structures.iter().take(budget).enumerate() {
+        let m = map_structure(view, s, &transform, leaves, &unavailable, ctx.count_sharing);
+        if let Some(r) = m.root {
+            if r.node() == n {
+                continue; // identity replacement
+            }
+        }
+        let gain = saved - m.added as i32;
+        let gain_ok = gain > 0 || (ctx.use_zeros && gain >= 0);
+        let level_ok = !ctx.preserve_level || m.level <= root_level;
+        if !(gain_ok && level_ok) {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bg, ba, bl, _)) => {
+                (gain, std::cmp::Reverse(m.added), std::cmp::Reverse(m.level))
+                    > (bg, std::cmp::Reverse(ba), std::cmp::Reverse(bl))
+            }
+        };
+        if better {
+            best = Some((gain, m.added, m.level, si));
+        }
+    }
+    best.map(|(gain, _, _, struct_idx)| Candidate {
+        leaves: leaves.to_vec(),
+        leaf_gens: leaves.iter().map(|&l| view.generation(l)).collect(),
+        tt,
+        class,
+        transform,
+        struct_idx,
+        gain,
+    })
+}
+
+/// Simulates building `structure` on the current graph: how many new nodes
+/// would be needed given structural sharing, and what the new root's level
+/// would be. Nodes in `unavailable` (the would-be-deleted MFFC) are not
+/// counted as shareable.
+fn map_structure<V: AigRead + ?Sized>(
+    view: &V,
+    structure: &Structure,
+    transform: &NpnTransform,
+    leaves: &[NodeId],
+    unavailable: &HashSet<NodeId>,
+    count_sharing: bool,
+) -> Mapping {
+    let (wiring, out_neg) = transform.wire();
+    let leaf_val = |var: usize| -> (MVal, u32) {
+        let (idx, neg) = wiring[var];
+        let id = leaves[idx];
+        (MVal::Real(Lit::new(id, neg)), view.level(id))
+    };
+
+    let mut added = 0u32;
+    let mut shared: Vec<NodeId> = Vec::new();
+    let mut vals: Vec<(MVal, u32)> = Vec::with_capacity(structure.size());
+    let resolve = |input: StructIn, vals: &[(MVal, u32)]| -> (MVal, u32) {
+        match input {
+            StructIn::Const(b) => (MVal::Real(Lit::FALSE.xor(b)), 0),
+            StructIn::Leaf { var, neg } => {
+                let (v, lvl) = leaf_val(var as usize);
+                (v.xor(neg), lvl)
+            }
+            StructIn::Gate { idx, neg } => {
+                let (v, lvl) = vals[idx as usize];
+                (v.xor(neg), lvl)
+            }
+        }
+    };
+
+    for gate in structure.gates() {
+        let (va, la) = resolve(gate[0], &vals);
+        let (vb, lb) = resolve(gate[1], &vals);
+        let value = match (va, vb) {
+            // Constant operands fold regardless of the other side.
+            (MVal::Real(x), _) | (_, MVal::Real(x)) if x == Lit::FALSE => {
+                (MVal::Real(Lit::FALSE), 0)
+            }
+            (MVal::Real(x), o) if x == Lit::TRUE => (o, lb),
+            (o, MVal::Real(x)) if x == Lit::TRUE => (o, la),
+            (MVal::Real(x), MVal::Real(y)) => {
+                let (x, y) = if x <= y { (x, y) } else { (y, x) };
+                if let Some(f) = Aig::fold_and(x, y) {
+                    (MVal::Real(f), view.level(f.node()))
+                } else if count_sharing {
+                    match view.find_and(x, y) {
+                        Some(g) if view.is_and(g) && !unavailable.contains(&g) => {
+                            shared.push(g);
+                            (MVal::Real(g.lit()), view.level(g))
+                        }
+                        _ => {
+                            added += 1;
+                            (MVal::Virt(added as u16, false), 1 + la.max(lb))
+                        }
+                    }
+                } else {
+                    added += 1;
+                    (MVal::Virt(added as u16, false), 1 + la.max(lb))
+                }
+            }
+            (MVal::Virt(i, ni), MVal::Virt(j, nj)) if i == j => {
+                if ni == nj {
+                    (MVal::Virt(i, ni), la)
+                } else {
+                    (MVal::Real(Lit::FALSE), 0)
+                }
+            }
+            _ => {
+                added += 1;
+                (MVal::Virt(added as u16, false), 1 + la.max(lb))
+            }
+        };
+        vals.push(value);
+    }
+
+    let (root, level) = resolve(structure.root(), &vals);
+    let root = match root.xor(out_neg) {
+        MVal::Real(l) => Some(l),
+        MVal::Virt(..) => None,
+    };
+    Mapping { added, root, level, shared }
+}
+
+/// Re-evaluation of a *specific* stored structure on the latest graph —
+/// the paper's §4.4 requirement that "each replacement must obtain a
+/// positive gain on the latest AIG". Also reports the existing nodes the
+/// build would share, which the replacement operator must lock.
+#[derive(Clone, Debug)]
+pub struct Reevaluation {
+    /// Nodes saved minus nodes added, on the current graph.
+    pub gain: i32,
+    /// Nodes that would be deleted (the cut-bounded MFFC, root first).
+    pub freed: Vec<NodeId>,
+    /// Existing nodes the structure build would reuse.
+    pub shared_nodes: Vec<NodeId>,
+    /// `Some` when the whole structure already exists as a literal.
+    pub root: Option<Lit>,
+    /// Level of the new root.
+    pub level: u32,
+}
+
+/// Re-evaluates `cand`'s stored structure against the current graph.
+/// The caller is responsible for `cand.tt`/`cand.transform` being valid for
+/// the current graph (see `validity::verify_cut`).
+pub fn reevaluate_structure<V: AigRead + ?Sized>(
+    view: &V,
+    n: NodeId,
+    cand: &Candidate,
+    ctx: &EvalContext,
+) -> Reevaluation {
+    let freed = mffc_with_cut(view, n, &cand.leaves);
+    let saved = freed.saved() as i32;
+    let unavailable: HashSet<NodeId> = freed.freed.iter().copied().collect();
+    let structure = &ctx.lib.structures(cand.class)[cand.struct_idx];
+    let m = map_structure(
+        view,
+        structure,
+        &cand.transform,
+        &cand.leaves,
+        &unavailable,
+        ctx.count_sharing,
+    );
+    let identity = m.root.map_or(false, |r| r.node() == n);
+    let gain = if identity { i32::MIN } else { saved - m.added as i32 };
+    Reevaluation {
+        gain,
+        freed: freed.freed,
+        shared_nodes: m.shared,
+        root: m.root,
+        level: m.level,
+    }
+}
+
+/// Something that can create AND gates — lets the structure builder run on
+/// both the serial and the concurrent graph.
+pub trait AndBuilder {
+    /// Creates (or finds) the AND of two literals.
+    ///
+    /// # Errors
+    ///
+    /// The concurrent implementation reports arena exhaustion.
+    fn and(&mut self, a: Lit, b: Lit) -> Result<Lit, AigError>;
+}
+
+impl AndBuilder for Aig {
+    fn and(&mut self, a: Lit, b: Lit) -> Result<Lit, AigError> {
+        Ok(self.add_and(a, b))
+    }
+}
+
+/// Concurrent builder: the caller must hold the engine locks on every node
+/// that may serve as a fanin (cut leaves and shareable nodes).
+impl AndBuilder for &ConcurrentAig {
+    fn and(&mut self, a: Lit, b: Lit) -> Result<Lit, AigError> {
+        self.add_and_locked(a, b)
+    }
+}
+
+/// Materializes the candidate's structure on the graph and returns the new
+/// root literal (which may be an existing node thanks to sharing).
+///
+/// # Errors
+///
+/// Propagates arena exhaustion from the concurrent builder.
+pub fn build_replacement<B: AndBuilder>(
+    builder: &mut B,
+    cand: &Candidate,
+    lib: &NpnLibrary,
+) -> Result<Lit, AigError> {
+    let structure = &lib.structures(cand.class)[cand.struct_idx];
+    let (wiring, out_neg) = cand.transform.wire();
+    let mut vals: Vec<Lit> = Vec::with_capacity(structure.size());
+    let resolve = |input: StructIn, vals: &[Lit]| -> Lit {
+        match input {
+            StructIn::Const(b) => Lit::FALSE.xor(b),
+            StructIn::Leaf { var, neg } => {
+                let (idx, w_neg) = wiring[var as usize];
+                Lit::new(cand.leaves[idx], w_neg ^ neg)
+            }
+            StructIn::Gate { idx, neg } => vals[idx as usize].xor(neg),
+        }
+    };
+    for gate in structure.gates() {
+        let a = resolve(gate[0], &vals);
+        let b = resolve(gate[1], &vals);
+        vals.push(builder.and(a, b)?);
+    }
+    Ok(resolve(structure.root(), &vals).xor(out_neg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacpara_cut::{CutConfig, CutStore};
+    use dacpara_equiv::{check_equivalence, CecConfig, CecResult};
+
+    fn ctx() -> EvalContext {
+        EvalContext::new(&RewriteConfig {
+            num_classes: 222,
+            preserve_level: false,
+            ..RewriteConfig::rewrite_op()
+        })
+    }
+
+    /// A deliberately wasteful majority: 2:1 muxes instead of the 4-gate
+    /// optimum — evaluation must find a positive gain.
+    fn wasteful_majority() -> (Aig, NodeId) {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        // maj(a,b,c) = a ? (b | c) : (b & c), built with a full mux.
+        let or = aig.add_or(b, c);
+        let and = aig.add_and(b, c);
+        let m = aig.add_mux(a, or, and);
+        aig.add_output(m);
+        (aig, m.node())
+    }
+
+    #[test]
+    fn finds_gain_on_redundant_cone() {
+        let (aig, root) = wasteful_majority();
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let cuts = store.cuts(&aig, root);
+        let cand = evaluate_node(&aig, root, &cuts, &ctx()).expect("a candidate");
+        assert!(cand.gain > 0, "gain {}", cand.gain);
+        assert_eq!(cand.leaves.len(), 3);
+    }
+
+    #[test]
+    fn replacement_preserves_function_and_realizes_gain() {
+        let (mut aig, root) = wasteful_majority();
+        let golden = aig.clone();
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let cuts = store.cuts(&aig, root);
+        let cand = evaluate_node(&aig, root, &cuts, &ctx()).unwrap();
+        let before = dacpara_aig::AigRead::num_ands(&aig);
+        let new_root = build_replacement(&mut aig, &cand, NpnLibrary::global()).unwrap();
+        aig.replace(root, new_root);
+        aig.check().unwrap();
+        let after = dacpara_aig::AigRead::num_ands(&aig);
+        assert_eq!(
+            (before - after) as i32,
+            cand.gain,
+            "realized gain must equal evaluated gain"
+        );
+        assert_eq!(
+            check_equivalence(&golden, &aig, &CecConfig::default()),
+            CecResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn no_candidate_on_already_optimal_cone() {
+        // A single AND gate over two inputs cannot be improved.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let ab = aig.add_and(a, b);
+        aig.add_output(ab);
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let cuts = store.cuts(&aig, ab.node());
+        assert_eq!(evaluate_node(&aig, ab.node(), &cuts, &ctx()), None);
+    }
+
+    #[test]
+    fn class_filter_blocks_evaluation() {
+        let (aig, root) = wasteful_majority();
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let cuts = store.cuts(&aig, root);
+        let mut blocked = ctx();
+        blocked.allowed = vec![false; blocked.registry.len()];
+        assert_eq!(evaluate_node(&aig, root, &cuts, &blocked), None);
+    }
+
+    #[test]
+    fn preserve_level_rejects_deeper_structures() {
+        let (aig, root) = wasteful_majority();
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let cuts = store.cuts(&aig, root);
+        let mut strict = ctx();
+        strict.preserve_level = true;
+        // With level preservation the engine may still find the 4-gate
+        // majority (depth 2 <= mux depth 3); the candidate must respect it.
+        if let Some(c) = evaluate_node(&aig, root, &cuts, &strict) {
+            assert!(c.gain > 0);
+        }
+    }
+
+    #[test]
+    fn sharing_detection_reduces_added_cost() {
+        // Saturate the graph with every 2-input AND/OR over (a, b, c) so
+        // that, whatever orientation the NPN transform picks, the factored
+        // majority structure finds its inner gates already present.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        for (x, y) in [(a, b), (a, c), (b, c)] {
+            let and = aig.add_and(x, y);
+            let or = aig.add_or(x, y);
+            aig.add_output(and);
+            aig.add_output(or);
+        }
+        // Wasteful mux-based majority on top (its or/and nodes are shared
+        // with the pool, so they are not in the MFFC).
+        let or = aig.add_or(b, c);
+        let an = aig.add_and(b, c);
+        let m = aig.add_mux(a, or, an);
+        aig.add_output(m);
+        let golden = aig.clone();
+
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let cuts = store.cuts(&aig, m.node());
+        let dynamic = evaluate_node(&aig, m.node(), &cuts, &ctx());
+        let mut static_ctx = ctx();
+        static_ctx.count_sharing = false;
+        let static_ = evaluate_node(&aig, m.node(), &cuts, &static_ctx);
+
+        // With sharing, the inner OR and AND of the factored majority are
+        // free; without it, the structure costs as much as the cone saves.
+        let dyn_gain = dynamic.as_ref().map(|c| c.gain).unwrap_or(0);
+        let sta_gain = static_.map(|c| c.gain).unwrap_or(0);
+        assert!(dyn_gain >= 1, "sharing-aware gain, got {dyn_gain}");
+        assert!(
+            dyn_gain > sta_gain,
+            "sharing-aware gain {dyn_gain} must beat static {sta_gain}"
+        );
+
+        // Applying it must preserve the function.
+        let cand = dynamic.expect("dynamic candidate");
+        let new_root = build_replacement(&mut aig, &cand, NpnLibrary::global()).unwrap();
+        aig.replace(m.node(), new_root);
+        aig.check().unwrap();
+        assert_eq!(
+            check_equivalence(&golden, &aig, &CecConfig::default()),
+            CecResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn static_mode_ignores_sharing() {
+        // Same saturated pool as above: sharing-aware evaluation finds a
+        // positive-gain candidate, sharing-blind (TCAD'23-style) evaluation
+        // finds none — the cone only pays off through reuse.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        for (x, y) in [(a, b), (a, c), (b, c)] {
+            let and = aig.add_and(x, y);
+            let or = aig.add_or(x, y);
+            aig.add_output(and);
+            aig.add_output(or);
+        }
+        let or = aig.add_or(b, c);
+        let an = aig.add_and(b, c);
+        let m = aig.add_mux(a, or, an);
+        aig.add_output(m);
+
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let cuts = store.cuts(&aig, m.node());
+        let mut static_ctx = ctx();
+        static_ctx.count_sharing = false;
+        let dynamic = evaluate_node(&aig, m.node(), &cuts, &ctx());
+        let static_ = evaluate_node(&aig, m.node(), &cuts, &static_ctx);
+        assert!(dynamic.is_some(), "sharing-aware evaluation finds the gain");
+        assert!(
+            static_.is_none(),
+            "sharing-blind evaluation must see no profit here, got {static_:?}"
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! The ICCAD'18 fine-grained parallel rewriting scheme (Possani et al.).
+//!
+//! One Galois operator per node performs *all three* rewriting stages —
+//! enumeration, evaluation, replacement — while holding exclusive locks on
+//! every related node. A conflicting activity aborts and loses everything
+//! it computed, including the (dominant) evaluation work; that wasted work
+//! is what the paper's Fig. 2 contrasts with DACPara's split operators, and
+//! it is recorded here in [`dacpara_galois::SpecStats`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use dacpara_aig::concurrent::ConcurrentAig;
+use dacpara_aig::{Aig, AigError, AigRead, NodeId};
+use dacpara_cut::CutStore;
+use dacpara_galois::{chunk_size, run_spmd, LockTable, SpecStats, WorkQueue};
+use parking_lot::Mutex;
+
+use crate::eval::{build_replacement, evaluate_node, reevaluate_structure, EvalContext};
+use crate::validity::{cut_cover, verify_cut};
+use crate::{RewriteConfig, RewriteStats};
+
+/// Spin-then-yield backoff between speculative retries.
+pub(crate) fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 32 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Runs the combined-operator parallel rewriting pass.
+///
+/// # Errors
+///
+/// Returns [`AigError::CapacityExhausted`] if the arena headroom
+/// ([`RewriteConfig::headroom`]) proves insufficient.
+pub fn rewrite_lockstep(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStats, AigError> {
+    let start = Instant::now();
+    let ctx = EvalContext::new(cfg);
+    let mut stats = RewriteStats {
+        engine: "iccad18".into(),
+        area_before: aig.num_ands(),
+        delay_before: aig.depth(),
+        ..Default::default()
+    };
+    let spec = SpecStats::new();
+
+    for _ in 0..cfg.runs.max(1) {
+        let shared = ConcurrentAig::from_aig(aig, cfg.headroom);
+        let store = CutStore::new(shared.capacity(), cfg.cut_config());
+        let locks = LockTable::new(shared.capacity());
+        let order = dacpara_aig::topo_ands(&shared);
+        let queue = WorkQueue::new(order.len());
+        let chunk = chunk_size(order.len(), cfg.threads);
+        let error: Mutex<Option<AigError>> = Mutex::new(None);
+        let replacements = AtomicU64::new(0);
+
+        {
+            let (shared, store, locks, ctx, order, queue, error, replacements, spec) = (
+                &shared,
+                &store,
+                &locks,
+                &ctx,
+                &order,
+                &queue,
+                &error,
+                &replacements,
+                &spec,
+            );
+            run_spmd(cfg.threads, |w| {
+                let owner = w.id as u32 + 1;
+                while let Some(range) = queue.next_chunk(chunk) {
+                    if error.lock().is_some() {
+                        return;
+                    }
+                    for i in range {
+                        match combined_operator(shared, store, locks, ctx, order[i], owner, spec)
+                        {
+                            Ok(true) => {
+                                replacements.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(false) => {}
+                            Err(e) => {
+                                *error.lock() = Some(e);
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        if let Some(e) = error.lock().take() {
+            return Err(e);
+        }
+        spec.merge(locks.stats());
+        stats.replacements += replacements.load(Ordering::Relaxed);
+        shared.canonicalize();
+        shared.cleanup();
+        *aig = shared.to_aig();
+    }
+
+    aig.recompute_levels();
+    stats.area_after = aig.num_ands();
+    stats.delay_after = aig.depth();
+    stats.spec = spec.snapshot();
+    stats.time = start.elapsed();
+    Ok(stats)
+}
+
+/// The single ICCAD'18-style operator: enumerate, lock everything related,
+/// evaluate *while holding the locks*, then replace. Returns whether a
+/// replacement was committed.
+fn combined_operator(
+    shared: &ConcurrentAig,
+    store: &CutStore,
+    locks: &LockTable,
+    ctx: &EvalContext,
+    n: NodeId,
+    owner: u32,
+    spec: &SpecStats,
+) -> Result<bool, AigError> {
+    let mut spins = 0u32;
+    loop {
+        let attempt = Instant::now();
+        if !shared.is_and(n) || shared.refs(n) == 0 {
+            return Ok(false);
+        }
+
+        // Stage A: cut enumeration (results verified under locks below).
+        let Some(cuts) = store.try_cuts(shared, n) else {
+            if !shared.is_and(n) {
+                return Ok(false);
+            }
+            spec.record_abort(attempt.elapsed());
+            backoff(&mut spins);
+            continue;
+        };
+
+        // Lock "all related nodes": self, fanouts, every cut's cover and
+        // leaves — acquired *before* evaluation, held throughout, exactly
+        // the scheme whose serialization the paper criticizes. Cuts whose
+        // cover cannot be collected (stale, or larger than the exploration
+        // bound around high-fanout reconvergence) are simply dropped from
+        // consideration — retrying could loop forever on a stable graph.
+        let mut region: Vec<u32> = vec![n.raw()];
+        region.extend(shared.fanout_ids(n).iter().map(|f| f.raw()));
+        let mut usable: Vec<dacpara_cut::Cut> = Vec::with_capacity(cuts.len());
+        for cut in cuts.iter().filter(|c| c.len() >= 2) {
+            if let Some(cover) = cut_cover(shared, n, cut.leaves()) {
+                region.extend(cover.iter().map(|c| c.raw()));
+                region.extend(cut.leaves().iter().map(|l| l.raw()));
+                usable.push(*cut);
+            }
+        }
+        if usable.is_empty() {
+            return Ok(false);
+        }
+        let Some(guard) = locks.try_acquire(owner, region) else {
+            spec.record_abort(attempt.elapsed());
+            backoff(&mut spins);
+            continue;
+        };
+
+        // Under locks: keep only cuts whose function is confirmed on the
+        // live graph (stale enumerations are dropped, not misapplied).
+        let valid_cuts: Vec<_> = usable
+            .iter()
+            .filter(|c| matches!(verify_cut(shared, n, c.leaves()), Some((_, tt)) if tt == c.tt()))
+            .copied()
+            .collect();
+
+        // Stage B: evaluation while holding every lock.
+        let Some(cand) = evaluate_node(shared, n, &valid_cuts, ctx) else {
+            spec.record_commit(attempt.elapsed());
+            return Ok(false);
+        };
+        let re = reevaluate_structure(shared, n, &cand, ctx);
+        let gain_ok = re.gain > 0 || (ctx.use_zeros && re.gain >= 0);
+        if !gain_ok {
+            spec.record_commit(attempt.elapsed());
+            return Ok(false);
+        }
+
+        // Shared (reused) nodes must be locked before mutation.
+        let extra: Vec<u32> = re
+            .shared_nodes
+            .iter()
+            .map(|s| s.raw())
+            .filter(|id| guard.ids().binary_search(id).is_err())
+            .collect();
+        let _extra_guard = if extra.is_empty() {
+            None
+        } else {
+            match locks.try_acquire(owner, extra) {
+                Some(g) => Some(g),
+                None => {
+                    drop(guard);
+                    // Everything — enumeration AND evaluation — is lost.
+                    spec.record_abort(attempt.elapsed());
+                    backoff(&mut spins);
+                    continue;
+                }
+            }
+        };
+
+        // Stage C: replacement.
+        for &f in &re.freed {
+            store.invalidate(f);
+        }
+        store.invalidate_tfo(shared, n);
+        let root = build_replacement(&mut &*shared, &cand, ctx.lib)?;
+        let applied = root.node() != n;
+        if applied {
+            shared.replace_locked(n, root);
+        }
+        spec.record_commit(attempt.elapsed());
+        return Ok(applied);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacpara_circuits::{arith, control, mtm, MtmParams};
+    use dacpara_equiv::{check_equivalence, CecConfig, CecResult};
+
+    fn cfg(threads: usize) -> RewriteConfig {
+        RewriteConfig {
+            num_classes: 222,
+            threads,
+            ..RewriteConfig::rewrite_op()
+        }
+    }
+
+    fn assert_equiv(before: &Aig, after: &Aig) {
+        // Bounded SAT budget: a counterexample is always a failure; an
+        // exhausted budget falls back on the (passing) simulation check.
+        let cfg = CecConfig {
+            sim_rounds: 32,
+            max_conflicts: 100_000,
+            seed: 0xDAC,
+        };
+        match check_equivalence(before, after, &cfg) {
+            CecResult::Equivalent | CecResult::Undecided => {}
+            CecResult::Inequivalent(_) => panic!("rewriting broke equivalence"),
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_serial_soundness() {
+        let mut aig = control::voter(15);
+        let golden = aig.clone();
+        let stats = rewrite_lockstep(&mut aig, &cfg(1)).unwrap();
+        aig.check().unwrap();
+        assert!(stats.area_reduction() > 0, "{}", stats.summary());
+        assert_equiv(&golden, &aig);
+    }
+
+    #[test]
+    fn multi_thread_preserves_equivalence() {
+        let mut aig = mtm(&MtmParams {
+            inputs: 32,
+            gates: 2000,
+            outputs: 12,
+            seed: 5,
+        });
+        let golden = aig.clone();
+        let stats = rewrite_lockstep(&mut aig, &cfg(4)).unwrap();
+        aig.check().unwrap();
+        assert!(stats.area_after <= stats.area_before);
+        assert_equiv(&golden, &aig);
+    }
+
+    #[test]
+    fn multiplier_under_contention() {
+        let mut aig = arith::multiplier(8);
+        let golden = aig.clone();
+        rewrite_lockstep(&mut aig, &cfg(4)).unwrap();
+        aig.check().unwrap();
+        assert_equiv(&golden, &aig);
+    }
+
+    #[test]
+    fn conflicts_are_observable_under_threads() {
+        // High-fanout circuits under several threads should log at least
+        // some speculative activity (commits always; conflicts usually).
+        let mut aig = mtm(&MtmParams {
+            inputs: 24,
+            gates: 3000,
+            outputs: 12,
+            seed: 77,
+        });
+        let stats = rewrite_lockstep(&mut aig, &cfg(4)).unwrap();
+        assert!(stats.spec.commits > 0);
+    }
+}

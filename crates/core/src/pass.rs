@@ -1,0 +1,213 @@
+//! Uniform driver over the rewriting engines.
+
+use dacpara_aig::{Aig, AigError};
+
+use crate::{
+    rewrite_dacpara, rewrite_lockstep, rewrite_partition, rewrite_serial, rewrite_static,
+    RewriteConfig, RewriteStats, StaticMode,
+};
+
+/// Which rewriting engine to run (one per comparison column of the paper).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// Serial ABC `rewrite` (Table 2, "ABC (1 Thread)").
+    AbcRewrite,
+    /// ICCAD'18 combined-operator parallel rewriting.
+    Iccad18,
+    /// DAC'22 NovelRewrite emulation (static info, conditional replacement).
+    Dac22,
+    /// TCAD'23 emulation (static info, sharing-blind, merge afterwards).
+    Tcad23,
+    /// DACPara (this paper).
+    DacPara,
+    /// Partition-based coarse-grain parallelism (Liu & Zhang, FPGA'17 —
+    /// the paper's reference [15]); regions default to `2 × threads`.
+    Partition,
+}
+
+impl Engine {
+    /// All engines, in the order the paper's tables list them.
+    pub const ALL: [Engine; 6] = [
+        Engine::AbcRewrite,
+        Engine::Iccad18,
+        Engine::Dac22,
+        Engine::Tcad23,
+        Engine::DacPara,
+        Engine::Partition,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::AbcRewrite => "abc-rewrite",
+            Engine::Iccad18 => "iccad18",
+            Engine::Dac22 => "dac22-static",
+            Engine::Tcad23 => "tcad23-static",
+            Engine::DacPara => "dacpara",
+            Engine::Partition => "partition-fpga17",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs one engine over the graph, in place.
+///
+/// # Errors
+///
+/// Returns [`AigError::CapacityExhausted`] from the concurrent engines when
+/// [`RewriteConfig::headroom`] is too small.
+///
+/// # Example
+///
+/// ```
+/// use dacpara::{run_engine, Engine, RewriteConfig};
+/// use dacpara_circuits::arith;
+///
+/// let mut aig = arith::adder(8);
+/// let stats = run_engine(&mut aig, Engine::DacPara, &RewriteConfig::rewrite_op())?;
+/// assert_eq!(stats.engine, "dacpara");
+/// # Ok::<(), dacpara_aig::AigError>(())
+/// ```
+pub fn run_engine(
+    aig: &mut Aig,
+    engine: Engine,
+    cfg: &RewriteConfig,
+) -> Result<RewriteStats, AigError> {
+    match engine {
+        Engine::AbcRewrite => Ok(rewrite_serial(aig, cfg)),
+        Engine::Iccad18 => rewrite_lockstep(aig, cfg),
+        Engine::Dac22 => rewrite_static(aig, cfg, StaticMode::Conditional),
+        Engine::Tcad23 => rewrite_static(aig, cfg, StaticMode::Unconditional),
+        Engine::DacPara => rewrite_dacpara(aig, cfg),
+        Engine::Partition => rewrite_partition(aig, cfg, cfg.threads.max(1) * 2),
+    }
+}
+
+/// Runs `engine` repeatedly (up to `max_passes`) until a pass stops
+/// improving the area, returning the statistics of every pass that ran.
+///
+/// Logic rewriting is locally optimal, so real flows apply it several times
+/// (§1 of the paper: "logic rewriting techniques are often applied many
+/// times for optimization due to its local optimality").
+///
+/// # Errors
+///
+/// Propagates the first engine error.
+///
+/// # Example
+///
+/// ```
+/// use dacpara::{optimize, Engine, RewriteConfig};
+/// use dacpara_circuits::control;
+///
+/// let mut aig = control::voter(15);
+/// let passes = optimize(&mut aig, Engine::DacPara, &RewriteConfig::rewrite_op(), 4)?;
+/// assert!(!passes.is_empty());
+/// // Area is monotonically non-increasing across passes.
+/// for w in passes.windows(2) {
+///     assert!(w[1].area_after <= w[0].area_after);
+/// }
+/// # Ok::<(), dacpara_aig::AigError>(())
+/// ```
+pub fn optimize(
+    aig: &mut Aig,
+    engine: Engine,
+    cfg: &RewriteConfig,
+    max_passes: usize,
+) -> Result<Vec<RewriteStats>, AigError> {
+    let mut all = Vec::new();
+    for _ in 0..max_passes.max(1) {
+        let stats = run_engine(aig, engine, cfg)?;
+        let improved = stats.area_reduction() > 0;
+        all.push(stats);
+        if !improved {
+            break;
+        }
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacpara_circuits::control;
+    use dacpara_equiv::{check_equivalence, CecConfig, CecResult};
+
+    #[test]
+    fn every_engine_is_sound_on_the_same_input() {
+        let golden = control::voter(11);
+        let cfg = RewriteConfig {
+            num_classes: 222,
+            threads: 2,
+            ..RewriteConfig::rewrite_op()
+        };
+        for engine in Engine::ALL {
+            let mut aig = golden.clone();
+            let stats = run_engine(&mut aig, engine, &cfg).unwrap();
+            aig.check().unwrap();
+            assert_eq!(stats.engine, engine.name());
+            assert!(
+                stats.area_after <= stats.area_before,
+                "{engine} grew the graph"
+            );
+            assert_eq!(
+                check_equivalence(&golden, &aig, &CecConfig::default()),
+                CecResult::Equivalent,
+                "{engine} broke equivalence"
+            );
+        }
+    }
+
+    #[test]
+    fn optimize_converges_and_stays_sound() {
+        let golden = control::voter(21);
+        let mut aig = golden.clone();
+        let cfg = RewriteConfig {
+            num_classes: 222,
+            ..RewriteConfig::rewrite_op()
+        };
+        let passes = optimize(&mut aig, Engine::AbcRewrite, &cfg, 6).unwrap();
+        assert!(passes.len() >= 2, "needs at least one improving + one fixpoint pass");
+        assert_eq!(passes.last().unwrap().area_reduction(), 0, "converged");
+        assert_eq!(
+            check_equivalence(&golden, &aig, &CecConfig::default()),
+            CecResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn two_runs_reduce_at_least_as_much_as_one() {
+        let golden = control::voter(21);
+        let base = RewriteConfig {
+            num_classes: 222,
+            ..RewriteConfig::rewrite_op()
+        };
+        let mut one = golden.clone();
+        let s1 = run_engine(&mut one, Engine::DacPara, &base).unwrap();
+        let mut two = golden.clone();
+        let s2 = run_engine(
+            &mut two,
+            Engine::DacPara,
+            &RewriteConfig { runs: 2, ..base },
+        )
+        .unwrap();
+        assert!(
+            s2.area_after <= s1.area_after,
+            "second run must not lose ground: {} vs {}",
+            s2.area_after,
+            s1.area_after
+        );
+    }
+
+    #[test]
+    fn engine_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            Engine::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), Engine::ALL.len());
+    }
+}

@@ -1,0 +1,238 @@
+//! The 4-feasible cut datatype.
+
+use dacpara_aig::NodeId;
+use dacpara_npn::Tt4;
+
+/// Maximum number of leaves of a cut (4-input rewriting).
+pub const MAX_LEAVES: usize = 4;
+
+/// A cut of an AIG node: up to four leaf nodes such that every path from the
+/// primary inputs to the root passes through a leaf, together with the truth
+/// table of the root expressed over the leaves (in sorted leaf order).
+///
+/// # Example
+///
+/// ```
+/// use dacpara_aig::NodeId;
+/// use dacpara_cut::Cut;
+/// use dacpara_npn::Tt4;
+///
+/// let cut = Cut::trivial(NodeId::new(7));
+/// assert_eq!(cut.leaves(), [NodeId::new(7)]);
+/// assert_eq!(cut.tt(), Tt4::var(0));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Cut {
+    len: u8,
+    leaves: [NodeId; MAX_LEAVES],
+    sign: u64,
+    tt: Tt4,
+}
+
+fn signature(leaves: &[NodeId]) -> u64 {
+    leaves.iter().fold(0u64, |s, l| s | 1 << (l.raw() % 64))
+}
+
+impl Cut {
+    /// The trivial cut `{n}` whose function is the projection on `n`.
+    pub fn trivial(n: NodeId) -> Cut {
+        Cut {
+            len: 1,
+            leaves: [n, NodeId::CONST0, NodeId::CONST0, NodeId::CONST0],
+            sign: signature(&[n]),
+            tt: Tt4::var(0),
+        }
+    }
+
+    /// The empty cut of the constant node (function false, no leaves).
+    pub fn constant() -> Cut {
+        Cut {
+            len: 0,
+            leaves: [NodeId::CONST0; MAX_LEAVES],
+            sign: 0,
+            tt: Tt4::FALSE,
+        }
+    }
+
+    /// Builds a cut from sorted, distinct leaves and a truth table over them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than four leaves or they are not strictly
+    /// ascending.
+    pub fn new(leaves: &[NodeId], tt: Tt4) -> Cut {
+        assert!(leaves.len() <= MAX_LEAVES, "at most four leaves");
+        assert!(
+            leaves.windows(2).all(|w| w[0] < w[1]),
+            "leaves must be strictly ascending"
+        );
+        let mut arr = [NodeId::CONST0; MAX_LEAVES];
+        arr[..leaves.len()].copy_from_slice(leaves);
+        Cut {
+            len: leaves.len() as u8,
+            leaves: arr,
+            sign: signature(leaves),
+            tt,
+        }
+    }
+
+    /// The leaves, sorted ascending.
+    #[inline]
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves[..self.len as usize]
+    }
+
+    /// Number of leaves.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether this is the empty (constant) cut.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this is a trivial single-leaf cut.
+    #[inline]
+    pub fn is_trivial(&self) -> bool {
+        self.len == 1
+    }
+
+    /// Truth table of the root over the leaves (leaf `i` is variable `i`).
+    #[inline]
+    pub fn tt(&self) -> Tt4 {
+        self.tt
+    }
+
+    /// The 64-bit membership signature used to prescreen dominance tests.
+    #[inline]
+    pub fn sign(&self) -> u64 {
+        self.sign
+    }
+
+    /// Whether every leaf of `self` is a leaf of `other`.
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.len > other.len || self.sign & !other.sign != 0 {
+            return false;
+        }
+        self.leaves().iter().all(|l| other.leaves().contains(l))
+    }
+
+    /// Whether the two cuts have the same leaf set.
+    pub fn same_leaves(&self, other: &Cut) -> bool {
+        self.len == other.len && self.leaves() == other.leaves()
+    }
+
+    /// Merges the leaf sets of two cuts; `None` if the union exceeds four.
+    pub fn merge_leaves(&self, other: &Cut) -> Option<([NodeId; MAX_LEAVES], usize)> {
+        let mut out = [NodeId::CONST0; MAX_LEAVES];
+        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+        let a = self.leaves();
+        let b = other.leaves();
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                    x
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    i += 1;
+                    x
+                }
+                (Some(_), Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => unreachable!(),
+            };
+            if k == MAX_LEAVES {
+                return None;
+            }
+            out[k] = next;
+            k += 1;
+        }
+        Some((out, k))
+    }
+
+    /// Re-expresses this cut's truth table over a superset leaf ordering.
+    ///
+    /// `merged` must contain every leaf of `self` in ascending order.
+    pub fn expand_tt(&self, merged: &[NodeId]) -> Tt4 {
+        // Map each of our leaf positions to its position in `merged`.
+        let mut pos = [0usize; MAX_LEAVES];
+        for (i, l) in self.leaves().iter().enumerate() {
+            pos[i] = merged
+                .iter()
+                .position(|m| m == l)
+                .expect("merged leaves must be a superset");
+        }
+        let mut g = 0u16;
+        for m in 0..16u16 {
+            let mut child = 0u16;
+            for i in 0..self.len as usize {
+                child |= (m >> pos[i] & 1) << i;
+            }
+            if self.tt.raw() >> child & 1 != 0 {
+                g |= 1 << m;
+            }
+        }
+        Tt4::from_raw(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn dominance() {
+        let small = Cut::new(&[n(1), n(2)], Tt4::var(0));
+        let big = Cut::new(&[n(1), n(2), n(3)], Tt4::var(0));
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+        assert!(small.dominates(&small));
+        let other = Cut::new(&[n(1), n(4)], Tt4::var(0));
+        assert!(!other.dominates(&big));
+    }
+
+    #[test]
+    fn merge_respects_limit() {
+        let a = Cut::new(&[n(1), n(2), n(3)], Tt4::var(0));
+        let b = Cut::new(&[n(3), n(4)], Tt4::var(0));
+        let (leaves, k) = a.merge_leaves(&b).unwrap();
+        assert_eq!(&leaves[..k], &[n(1), n(2), n(3), n(4)]);
+        let c = Cut::new(&[n(5), n(6)], Tt4::var(0));
+        assert!(a.merge_leaves(&c).is_none());
+    }
+
+    #[test]
+    fn expand_tt_repositions_variables() {
+        // Cut over {5, 9} computing leaf0 & leaf1; expand over {2, 5, 9}.
+        let cut = Cut::new(&[n(5), n(9)], Tt4::var(0) & Tt4::var(1));
+        let expanded = cut.expand_tt(&[n(2), n(5), n(9)]);
+        assert_eq!(expanded, Tt4::var(1) & Tt4::var(2));
+    }
+
+    #[test]
+    fn constant_cut_is_empty_and_false() {
+        let c = Cut::constant();
+        assert!(c.is_empty());
+        assert_eq!(c.tt(), Tt4::FALSE);
+        assert_eq!(c.expand_tt(&[n(3)]), Tt4::FALSE);
+    }
+}

@@ -1,0 +1,279 @@
+//! Concurrent memo store for per-node cut sets.
+//!
+//! The paper's cut-enumeration operator computes cuts recursively from the
+//! fanins and caches them per node; replacements invalidate the stored
+//! results of the deleted nodes' transitive fanouts (§4.4: "the previous
+//! enumeration results (if not empty) of all transitive fanouts for each
+//! deleted node will be recursively cleared").
+//!
+//! Entries are tagged with the node's *generation* at computation time, so
+//! a recycled or re-fanined slot can never serve a stale cut set even if an
+//! explicit invalidation was missed — the second line of defense behind the
+//! stored-cut validity protocol of §4.4.
+
+use std::sync::Arc;
+
+use dacpara_aig::{AigRead, NodeId, NodeKind};
+use parking_lot::RwLock;
+
+use crate::{and_cuts, leaf_cuts, CutConfig, CutSet};
+
+type Slot = RwLock<Option<(u32, Arc<CutSet>)>>;
+
+/// A slot-indexed, generation-validated cache of cut sets, safe for
+/// concurrent use.
+///
+/// # Example
+///
+/// ```
+/// use dacpara_aig::Aig;
+/// use dacpara_cut::{CutConfig, CutStore};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let ab = aig.add_and(a, b);
+/// aig.add_output(ab);
+/// let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+/// let cuts = store.cuts(&aig, ab.node());
+/// assert_eq!(cuts.len(), 2); // trivial + {a, b}
+/// ```
+pub struct CutStore {
+    slots: Vec<Slot>,
+    cfg: CutConfig,
+}
+
+impl CutStore {
+    /// Creates a store covering `capacity` node slots.
+    pub fn new(capacity: usize, cfg: CutConfig) -> CutStore {
+        CutStore {
+            slots: (0..capacity).map(|_| RwLock::new(None)).collect(),
+            cfg,
+        }
+    }
+
+    /// The enumeration configuration this store was built with.
+    pub fn config(&self) -> &CutConfig {
+        &self.cfg
+    }
+
+    /// Extends the store to cover at least `capacity` slots (serial-owner
+    /// operation — the concurrent engines size the store up front).
+    pub fn grow(&mut self, capacity: usize) {
+        while self.slots.len() < capacity {
+            self.slots.push(RwLock::new(None));
+        }
+    }
+
+    /// Number of covered slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The cached cut set of `n`, if present and still matching `n`'s
+    /// current generation.
+    pub fn get<V: AigRead + ?Sized>(&self, view: &V, n: NodeId) -> Option<Arc<CutSet>> {
+        let guard = self.slots[n.index()].read();
+        match &*guard {
+            Some((gen, cuts)) if *gen == view.generation(n) => Some(Arc::clone(cuts)),
+            _ => None,
+        }
+    }
+
+    /// Stores a cut set for `n` at its current generation.
+    pub fn put<V: AigRead + ?Sized>(&self, view: &V, n: NodeId, cuts: Arc<CutSet>) {
+        *self.slots[n.index()].write() = Some((view.generation(n), cuts));
+    }
+
+    /// Returns the cut set of `n`, computing it (and any missing ancestor
+    /// sets) bottom-up on demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or anything in its fanin cone is a dead slot — use
+    /// [`CutStore::try_cuts`] when the graph may be mutating concurrently.
+    pub fn cuts<V: AigRead + ?Sized>(&self, view: &V, n: NodeId) -> Arc<CutSet> {
+        self.try_cuts(view, n)
+            .expect("cut enumeration hit a dead slot")
+    }
+
+    /// Like [`CutStore::cuts`], but returns `None` (instead of panicking)
+    /// when a dead node is encountered — which can happen when planning
+    /// against a concurrently mutating graph; callers retry after
+    /// revalidation.
+    pub fn try_cuts<V: AigRead + ?Sized>(&self, view: &V, n: NodeId) -> Option<Arc<CutSet>> {
+        if let Some(hit) = self.get(view, n) {
+            return Some(hit);
+        }
+        let mut stack = vec![n];
+        while let Some(&top) = stack.last() {
+            if self.get(view, top).is_some() {
+                stack.pop();
+                continue;
+            }
+            match view.kind(top) {
+                NodeKind::Const0 | NodeKind::Input => {
+                    self.put(view, top, Arc::new(leaf_cuts(view, top)));
+                    stack.pop();
+                }
+                NodeKind::And => {
+                    let [fa, fb] = view.fanins(top);
+                    if !view.is_alive(fa.node()) || !view.is_alive(fb.node()) {
+                        return None; // racing against a concurrent mutation
+                    }
+                    let ca = self.get(view, fa.node());
+                    let cb = self.get(view, fb.node());
+                    match (ca, cb) {
+                        (Some(ca), Some(cb)) => {
+                            let cuts = and_cuts(view, top, &ca, &cb, &self.cfg);
+                            self.put(view, top, Arc::new(cuts));
+                            stack.pop();
+                        }
+                        (ca, cb) => {
+                            if ca.is_none() {
+                                stack.push(fa.node());
+                            }
+                            if cb.is_none() {
+                                stack.push(fb.node());
+                            }
+                        }
+                    }
+                }
+                NodeKind::Free => return None,
+            }
+        }
+        self.get(view, n)
+    }
+
+    /// Clears the cached set of `n`; returns whether one was present.
+    pub fn invalidate(&self, n: NodeId) -> bool {
+        self.slots[n.index()].write().take().is_some()
+    }
+
+    /// Clears the cached sets of `n` and of its transitive fanouts,
+    /// short-circuiting on nodes whose entry is already empty (a cleared
+    /// node's fanouts were cleared by whoever cleared it).
+    pub fn invalidate_tfo<V: AigRead + ?Sized>(&self, view: &V, n: NodeId) {
+        let mut stack = vec![(n, true)];
+        while let Some((x, force)) = stack.pop() {
+            let had = self.invalidate(x);
+            if had || force {
+                for f in view.fanout_ids(x) {
+                    stack.push((f, false));
+                }
+            }
+        }
+    }
+
+    /// Number of node slots currently holding a cached set (regardless of
+    /// generation freshness).
+    pub fn cached_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.read().is_some()).count()
+    }
+
+    /// Clears the entire cache.
+    pub fn clear(&self) {
+        for s in &self.slots {
+            *s.write() = None;
+        }
+    }
+}
+
+impl std::fmt::Debug for CutStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CutStore")
+            .field("capacity", &self.slots.len())
+            .field("cached", &self.cached_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacpara_aig::{Aig, Lit};
+
+    fn chain() -> (Aig, Vec<Lit>) {
+        let mut aig = Aig::new();
+        let ins: Vec<_> = (0..5).map(|_| aig.add_input()).collect();
+        let mut lits = Vec::new();
+        let mut acc = ins[0];
+        for &i in &ins[1..] {
+            acc = aig.add_and(acc, i);
+            lits.push(acc);
+        }
+        aig.add_output(acc);
+        (aig, lits)
+    }
+
+    #[test]
+    fn on_demand_computes_transitively() {
+        let (aig, lits) = chain();
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let top = lits.last().unwrap().node();
+        let cuts = store.cuts(&aig, top);
+        assert!(cuts.len() > 1);
+        for l in &lits {
+            assert!(store.get(&aig, l.node()).is_some());
+        }
+    }
+
+    #[test]
+    fn invalidate_tfo_clears_upward() {
+        let (aig, lits) = chain();
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let top = lits.last().unwrap().node();
+        store.cuts(&aig, top);
+        let first = lits[0].node();
+        store.invalidate_tfo(&aig, first);
+        assert!(store.get(&aig, first).is_none());
+        for l in &lits[1..] {
+            assert!(store.get(&aig, l.node()).is_none(), "{:?}", l.node());
+        }
+        assert!(store.get(&aig, aig.inputs()[0]).is_some());
+    }
+
+    #[test]
+    fn invalidate_tfo_short_circuits_on_empty_entries() {
+        let (aig, lits) = chain();
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let top = lits.last().unwrap().node();
+        store.cuts(&aig, top);
+        store.invalidate(lits[1].node());
+        store.invalidate_tfo(&aig, lits[1].node());
+        assert!(store.get(&aig, top).is_none());
+    }
+
+    #[test]
+    fn generation_mismatch_invalidates_implicitly() {
+        let (mut aig, lits) = chain();
+        let store = CutStore::new(aig.slot_count() + 8, CutConfig::unlimited());
+        let top = lits.last().unwrap().node();
+        store.cuts(&aig, top);
+        // Replace the bottom AND: its slot is freed and the generation
+        // bumped; a recycled occupant must not see the stale entry.
+        let victim = lits[0].node();
+        let keep = aig.inputs()[0].lit();
+        aig.replace(victim, keep);
+        assert!(store.get(&aig, victim).is_none(), "gen tag must reject");
+    }
+
+    #[test]
+    fn grow_extends_capacity() {
+        let (aig, _) = chain();
+        let mut store = CutStore::new(4, CutConfig::unlimited());
+        store.grow(aig.slot_count());
+        assert!(store.capacity() >= aig.slot_count());
+    }
+
+    #[test]
+    fn recompute_after_invalidation() {
+        let (aig, lits) = chain();
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let top = lits.last().unwrap().node();
+        let before = store.cuts(&aig, top);
+        store.invalidate_tfo(&aig, lits[0].node());
+        let after = store.cuts(&aig, top);
+        assert_eq!(before.len(), after.len());
+    }
+}

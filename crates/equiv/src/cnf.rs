@@ -1,0 +1,144 @@
+//! Tseitin encoding of an AIG into CNF.
+
+use dacpara_aig::{AigRead, Lit, NodeId};
+
+use crate::{CLit, Solver};
+
+/// Maps AIG nodes to solver variables while loading the Tseitin clauses of
+/// the whole graph into a [`Solver`].
+#[derive(Debug)]
+pub struct CnfMap {
+    var_of: Vec<u32>,
+}
+
+impl CnfMap {
+    /// Encodes every live node of `view` into `solver`.
+    ///
+    /// Each node gets one variable; every AND contributes the three clauses
+    /// `(!n | a)`, `(!n | b)`, `(n | !a | !b)`; the constant node is forced
+    /// false.
+    pub fn encode<V: AigRead + ?Sized>(view: &V, solver: &mut Solver) -> CnfMap {
+        let mut var_of = vec![u32::MAX; view.slot_count()];
+        let var_for = |n: NodeId, solver: &mut Solver, var_of: &mut Vec<u32>| -> u32 {
+            if var_of[n.index()] == u32::MAX {
+                var_of[n.index()] = solver.new_var();
+            }
+            var_of[n.index()]
+        };
+        // Constant node.
+        let c0 = var_for(NodeId::CONST0, solver, &mut var_of);
+        solver.add_clause(&[CLit::new(c0, true)]);
+        for i in view.input_ids() {
+            var_for(i, solver, &mut var_of);
+        }
+        for n in dacpara_aig::topo_ands(view) {
+            let [a, b] = view.fanins(n);
+            let va = var_for(a.node(), solver, &mut var_of);
+            let vb = var_for(b.node(), solver, &mut var_of);
+            let vn = var_for(n, solver, &mut var_of);
+            let la = CLit::new(va, a.is_complement());
+            let lb = CLit::new(vb, b.is_complement());
+            let ln = CLit::new(vn, false);
+            solver.add_clause(&[!ln, la]);
+            solver.add_clause(&[!ln, lb]);
+            solver.add_clause(&[ln, !la, !lb]);
+        }
+        CnfMap { var_of }
+    }
+
+    /// The solver literal equivalent to an AIG edge literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not encoded.
+    pub fn lit(&self, l: Lit) -> CLit {
+        let v = self.var_of[l.node().index()];
+        assert_ne!(v, u32::MAX, "node {:?} was not encoded", l.node());
+        CLit::new(v, l.is_complement())
+    }
+
+    /// The solver variable of a node, if encoded.
+    pub fn var(&self, n: NodeId) -> Option<u32> {
+        let v = self.var_of[n.index()];
+        (v != u32::MAX).then_some(v)
+    }
+}
+
+/// Asserts that `view`'s single combinational property `lit` holds, i.e.
+/// adds the unit clause for it.
+pub fn assert_lit(solver: &mut Solver, map: &CnfMap, l: Lit) {
+    solver.add_clause(&[map.lit(l)]);
+}
+
+/// Extracts the input assignment from a satisfying model.
+pub fn model_inputs<V: AigRead + ?Sized>(view: &V, map: &CnfMap, solver: &Solver) -> Vec<bool> {
+    view.input_ids()
+        .iter()
+        .map(|&i| {
+            map.var(i)
+                .and_then(|v| solver.value(v))
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SatResult, simulate_bools};
+    use dacpara_aig::Aig;
+
+    #[test]
+    fn sat_models_match_simulation() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let f = aig.add_mux(a, b, c);
+        let g = aig.add_xor(f, c);
+        aig.add_output(g);
+
+        let mut solver = Solver::new();
+        let map = CnfMap::encode(&aig, &mut solver);
+        assert_lit(&mut solver, &map, g);
+        assert_eq!(solver.solve(), SatResult::Sat);
+        let inputs = model_inputs(&aig, &map, &solver);
+        assert!(simulate_bools(&aig, &inputs)[0], "model must satisfy output");
+    }
+
+    #[test]
+    fn unsatisfiable_output() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let contradiction = aig.add_and(a, !a); // folds to const false
+        aig.add_output(contradiction);
+        let mut solver = Solver::new();
+        let map = CnfMap::encode(&aig, &mut solver);
+        assert_lit(&mut solver, &map, aig.outputs()[0]);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn exhaustive_agreement_on_small_circuit() {
+        // For every input assignment: SAT with inputs pinned must agree with
+        // simulation of the output.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let m = aig.add_maj(a, b, c);
+        aig.add_output(m);
+        for pattern in 0..8u32 {
+            let inputs = [pattern & 1 != 0, pattern >> 1 & 1 != 0, pattern >> 2 & 1 != 0];
+            let expect = simulate_bools(&aig, &inputs)[0];
+            let mut solver = Solver::new();
+            let map = CnfMap::encode(&aig, &mut solver);
+            for (k, &i) in aig.inputs().iter().enumerate() {
+                solver.add_clause(&[CLit::new(map.var(i).unwrap(), !inputs[k])]);
+            }
+            assert_lit(&mut solver, &map, m);
+            let want = if expect { SatResult::Sat } else { SatResult::Unsat };
+            assert_eq!(solver.solve(), want, "pattern {pattern:03b}");
+        }
+    }
+}

@@ -1,0 +1,759 @@
+//! A compact CDCL SAT solver (MiniSat-style).
+//!
+//! Features: two-watched-literal propagation, first-UIP conflict analysis,
+//! VSIDS-style activity ordering, phase saving, and Luby restarts. Learned
+//! clauses are kept (no deletion) — appropriate for the moderate-size
+//! combinational-equivalence queries this workspace issues.
+
+/// A solver literal: `2 * var + negated`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CLit(u32);
+
+impl CLit {
+    /// Builds a literal over variable `var`.
+    pub fn new(var: u32, negated: bool) -> CLit {
+        CLit(var << 1 | negated as u32)
+    }
+
+    /// The variable.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for CLit {
+    type Output = CLit;
+    fn not(self) -> CLit {
+        CLit(self.0 ^ 1)
+    }
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Watch {
+    clause: u32,
+    blocker: CLit,
+}
+
+/// Indexed binary max-heap over variable activities (MiniSat's order
+/// heap): O(log n) decisions instead of an O(n) scan per decision.
+#[derive(Debug, Default)]
+struct OrderHeap {
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or -1 when absent.
+    pos: Vec<i32>,
+}
+
+impl OrderHeap {
+    fn ensure(&mut self, v: u32) {
+        if self.pos.len() <= v as usize {
+            self.pos.resize(v as usize + 1, -1);
+        }
+    }
+
+    fn in_heap(&self, v: u32) -> bool {
+        (v as usize) < self.pos.len() && self.pos[v as usize] >= 0
+    }
+
+    fn insert(&mut self, v: u32, act: &[f64]) {
+        self.ensure(v);
+        if self.in_heap(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn bump(&mut self, v: u32, act: &[f64]) {
+        if self.in_heap(v) {
+            let i = self.pos[v as usize] as usize;
+            self.sift_up(i, act);
+        }
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as i32;
+        self.pos[self.heap[j] as usize] = j as i32;
+    }
+}
+
+/// Result of a (budgeted) solver run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A model was found ([`Solver::value`] reads it back).
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+}
+
+/// The CDCL solver.
+///
+/// # Example
+///
+/// ```
+/// use dacpara_equiv::{CLit, SatResult, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[CLit::new(a, false), CLit::new(b, false)]);
+/// s.add_clause(&[CLit::new(a, true)]);
+/// assert_eq!(s.solve(), SatResult::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Vec<CLit>>,
+    watches: Vec<Vec<Watch>>,
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<CLit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: OrderHeap,
+    phase: Vec<bool>,
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+    ok: bool,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            var_inc: 1.0,
+            ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// Introduces a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.assign.len() as u32;
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Conflicts encountered so far.
+    pub fn num_conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Decisions made so far.
+    pub fn num_decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    fn lit_value(&self, l: CLit) -> LBool {
+        match self.assign[l.var() as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_neg() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+            LBool::False => {
+                if l.is_neg() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+        }
+    }
+
+    /// Adds a clause; returns `false` if the formula became trivially
+    /// unsatisfiable. Must be called before [`Solver::solve`] (no
+    /// incremental re-solving after Unsat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the solver has started making decisions.
+    pub fn add_clause(&mut self, lits: &[CLit]) -> bool {
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at decision level 0"
+        );
+        if !self.ok {
+            return false;
+        }
+        // Normalize: sort, dedupe, drop false literals, detect tautology.
+        let mut c: Vec<CLit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        let mut out: Vec<CLit> = Vec::with_capacity(c.len());
+        for &l in &c {
+            if out.last() == Some(&!l) || self.lit_value(l) == LBool::True {
+                return true; // tautology or already satisfied
+            }
+            if self.lit_value(l) != LBool::False {
+                out.push(l);
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(out[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[(!out[0]).index()].push(Watch {
+                    clause: idx,
+                    blocker: out[1],
+                });
+                self.watches[(!out[1]).index()].push(Watch {
+                    clause: idx,
+                    blocker: out[0],
+                });
+                self.clauses.push(out);
+                true
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: CLit, reason: Option<u32>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var() as usize;
+        self.assign[v] = if l.is_neg() { LBool::False } else { LBool::True };
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.phase[v] = !l.is_neg();
+        self.trail.push(l);
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let false_lit = !p;
+            // Clauses watching `!p` were registered under index `p`.
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Make sure the false literal is at position 1.
+                let cid = w.clause as usize;
+                if self.clauses[cid][0] == false_lit {
+                    self.clauses[cid].swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cid][1], false_lit);
+                let first = self.clauses[cid][0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[cid].len() {
+                    let l = self.clauses[cid][k];
+                    if self.lit_value(l) != LBool::False {
+                        self.clauses[cid].swap(1, k);
+                        self.watches[(!l).index()].push(Watch {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflict.
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: restore remaining watches and report.
+                    self.watches[p.index()].extend_from_slice(&ws);
+                    self.qhead = self.trail.len();
+                    return Some(w.clause);
+                }
+                self.enqueue(first, Some(w.clause));
+                i += 1;
+            }
+            self.watches[p.index()].extend_from_slice(&ws);
+        }
+        None
+    }
+
+    fn bump(&mut self, v: u32) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            // Rescaling preserves relative order; the heap stays valid.
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bump(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis; returns the learned clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: u32) -> (Vec<CLit>, u32) {
+        let mut learnt: Vec<CLit> = vec![CLit::new(0, false)]; // slot 0 patched below
+        let mut seen = vec![false; self.num_vars()];
+        let current = self.trail_lim.len() as u32;
+        let mut counter = 0u32;
+        let mut cid = confl as usize;
+        let mut p: Option<CLit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            // Iterate the reason clause, skipping the implied literal itself.
+            let skip = p;
+            let lits: Vec<CLit> = self.clauses[cid].clone();
+            for q in lits {
+                if Some(q) == skip {
+                    continue;
+                }
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(q.var());
+                    if self.level[v] == current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal to resolve on.
+            loop {
+                index -= 1;
+                if seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            seen[lit.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !lit;
+                break;
+            }
+            p = Some(lit);
+            cid = self.reason[lit.var() as usize].expect("implied literal has a reason") as usize;
+        }
+
+        // Conflict-clause minimization (basic self-subsumption): a literal
+        // is redundant if every other literal of its reason clause is
+        // already in the learnt clause (or forced at level 0).
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                if i == 0 {
+                    return true;
+                }
+                match self.reason[q.var() as usize] {
+                    None => true,
+                    Some(cid) => !self.clauses[cid as usize].iter().all(|&r| {
+                        r.var() == q.var()
+                            || seen[r.var() as usize]
+                            || self.level[r.var() as usize] == 0
+                    }),
+                }
+            })
+            .collect();
+        let mut idx = 0;
+        learnt.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+
+        let back_level = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        // Move a max-level literal to slot 1 so it is watched.
+        if learnt.len() > 1 {
+            let max_pos = learnt[1..]
+                .iter()
+                .position(|l| self.level[l.var() as usize] == back_level)
+                .expect("some literal attains the max")
+                + 1;
+            learnt.swap(1, max_pos);
+        }
+        (learnt, back_level)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().expect("non-root level");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail entry");
+                let v = l.var() as usize;
+                self.assign[v] = LBool::Undef;
+                self.reason[v] = None;
+                self.order.insert(l.var(), &self.activity);
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<CLit> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assign[v as usize] == LBool::Undef {
+                return Some(CLit::new(v, !self.phase[v as usize]));
+            }
+        }
+        None
+    }
+
+    /// Solves with a conflict budget; `None` means the budget was exhausted.
+    pub fn solve_limited(&mut self, max_conflicts: u64) -> Option<SatResult> {
+        if !self.ok {
+            return Some(SatResult::Unsat);
+        }
+        let start_conflicts = self.conflicts;
+        let mut restart_unit = 64u64;
+        let mut next_restart = self.conflicts + luby(restart_unit, 0);
+        let mut restart_idx = 0u32;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                if self.trail_lim.is_empty() {
+                    self.ok = false;
+                    return Some(SatResult::Unsat);
+                }
+                let (learnt, back) = self.analyze(confl);
+                self.backtrack(back);
+                let assert_lit = learnt[0];
+                if learnt.len() == 1 {
+                    self.enqueue(assert_lit, None);
+                } else {
+                    let idx = self.clauses.len() as u32;
+                    self.watches[(!learnt[0]).index()].push(Watch {
+                        clause: idx,
+                        blocker: learnt[1],
+                    });
+                    self.watches[(!learnt[1]).index()].push(Watch {
+                        clause: idx,
+                        blocker: learnt[0],
+                    });
+                    self.clauses.push(learnt);
+                    self.enqueue(assert_lit, Some(idx));
+                }
+                self.var_inc /= 0.95;
+                if self.conflicts - start_conflicts >= max_conflicts {
+                    self.backtrack(0);
+                    return None;
+                }
+                if self.conflicts >= next_restart {
+                    restart_idx += 1;
+                    next_restart = self.conflicts + luby(restart_unit, restart_idx);
+                    restart_unit = restart_unit.max(64);
+                    self.backtrack(0);
+                }
+            } else {
+                match self.decide() {
+                    None => return Some(SatResult::Sat),
+                    Some(l) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solves without a budget.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_limited(u64::MAX).expect("unbounded solve")
+    }
+
+    /// The model value of a variable after [`SatResult::Sat`] (or the
+    /// level-0 forced value otherwise); `None` when unassigned.
+    pub fn value(&self, var: u32) -> Option<bool> {
+        match self.assign[var as usize] {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...) scaled by `unit`.
+fn luby(unit: u64, i: u32) -> u64 {
+    let mut x = i as u64;
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    unit * (1u64 << seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, neg: bool) -> CLit {
+        CLit::new(v, neg)
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[lit(a, false)]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, false)]);
+        assert!(!s.add_clause(&[lit(a, true)]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[lit(a, false), lit(a, true)]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_is_unsat() {
+        // Two pigeons, one hole: p0 and p1 both in hole, but not together.
+        let mut s = Solver::new();
+        let p0 = s.new_var();
+        let p1 = s.new_var();
+        s.add_clause(&[lit(p0, false)]);
+        s.add_clause(&[lit(p1, false)]);
+        s.add_clause(&[lit(p0, true), lit(p1, true)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_is_unsat() {
+        // Classic PHP(4,3): forces real conflict analysis and backjumping.
+        let (pigeons, holes) = (4, 3);
+        let mut s = Solver::new();
+        let mut var = vec![vec![0u32; holes]; pigeons];
+        for p in 0..pigeons {
+            for h in 0..holes {
+                var[p][h] = s.new_var();
+            }
+        }
+        for p in 0..pigeons {
+            let clause: Vec<CLit> = (0..holes).map(|h| lit(var[p][h], false)).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause(&[lit(var[p1][h], true), lit(var[p2][h], true)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn models_satisfy_all_clauses() {
+        // Random 3-SAT at a satisfiable density; verify returned models.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let n = 12u32;
+            let mut s = Solver::new();
+            for _ in 0..n {
+                s.new_var();
+            }
+            let mut clauses: Vec<Vec<CLit>> = Vec::new();
+            for _ in 0..30 {
+                let c: Vec<CLit> = (0..3)
+                    .map(|_| lit(rng.gen_range(0..n), rng.gen()))
+                    .collect();
+                clauses.push(c.clone());
+                if !s.add_clause(&c) {
+                    break;
+                }
+            }
+            if s.solve_limited(100_000) == Some(SatResult::Sat) {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| {
+                            let v = s.value(l.var()).unwrap_or(false);
+                            v != l.is_neg()
+                        }),
+                        "model violates {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let (pigeons, holes) = (4, 3);
+        let mut s = Solver::new();
+        let mut var = vec![vec![0u32; holes]; pigeons];
+        for p in 0..pigeons {
+            for h in 0..holes {
+                var[p][h] = s.new_var();
+            }
+        }
+        for p in 0..pigeons {
+            let clause: Vec<CLit> = (0..holes).map(|h| lit(var[p][h], false)).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause(&[lit(var[p1][h], true), lit(var[p2][h], true)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.num_conflicts() > 0);
+        assert!(s.num_decisions() > 0);
+        assert!(s.num_clauses() > pigeons + holes, "learned clauses were kept");
+    }
+
+    #[test]
+    fn solving_twice_after_sat_is_stable() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, false), lit(b, false)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        let first = (s.value(a), s.value(b));
+        // Solving again from a satisfied state must stay SAT.
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(first.0.is_some() || first.1.is_some());
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        // PHP(6,5) with a conflict budget of 1 cannot finish.
+        let (pigeons, holes) = (6, 5);
+        let mut s = Solver::new();
+        let mut var = vec![vec![0u32; holes]; pigeons];
+        for p in 0..pigeons {
+            for h in 0..holes {
+                var[p][h] = s.new_var();
+            }
+        }
+        for p in 0..pigeons {
+            let clause: Vec<CLit> = (0..holes).map(|h| lit(var[p][h], false)).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause(&[lit(var[p1][h], true), lit(var[p2][h], true)]);
+                }
+            }
+        }
+        assert_eq!(s.solve_limited(1), None);
+    }
+}

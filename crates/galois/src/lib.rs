@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! A miniature Galois-style runtime for amorphous data parallelism.
+//!
+//! The paper implements both ICCAD'18's single-operator rewriting and
+//! DACPara on the Galois system, whose relevant ingredients are:
+//!
+//! * **speculative parallelism with per-element exclusive locks** — an
+//!   activity acquires every element it will touch; a conflict *aborts* the
+//!   activity, discarding all of its computation ([`LockTable`]),
+//! * **conflict accounting** — the cost model behind the paper's Fig. 2 is
+//!   exactly "how much computation do aborts discard" ([`SpecStats`]),
+//! * **worklist execution** — a team of workers draining shared worklists
+//!   ([`run_spmd`], [`WorkQueue`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dacpara_galois::{run_spmd, LockTable, WorkQueue};
+//! use std::sync::atomic::{AtomicU32, Ordering};
+//!
+//! // Increment 100 shared cells, each protected by a Galois lock.
+//! let cells: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+//! let locks = LockTable::new(100);
+//! let queue = WorkQueue::new(100);
+//! let (cells, locks, queue) = (&cells, &locks, &queue);
+//! run_spmd(4, |w| {
+//!     while let Some(range) = queue.next_chunk(4) {
+//!         for i in range {
+//!             loop {
+//!                 if let Some(_guard) = locks.try_acquire(w.id as u32 + 1, vec![i as u32]) {
+//!                     cells[i].fetch_add(1, Ordering::Relaxed);
+//!                     break;
+//!                 }
+//!                 std::hint::spin_loop();
+//!             }
+//!         }
+//!     }
+//! });
+//! assert!(cells.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+//! ```
+
+mod locks;
+mod spmd;
+mod stats;
+
+pub use locks::{LockSet, LockTable};
+pub use spmd::{chunk_size, parallel_for, run_spmd, WorkQueue, Worker};
+pub use stats::{SpecSnapshot, SpecStats};

@@ -1,0 +1,182 @@
+//! Conflict and wasted-work accounting for speculative execution.
+//!
+//! The paper's Fig. 2 argument is quantitative: when enumeration,
+//! evaluation and replacement run as *one* operator (ICCAD'18), a conflict
+//! discards all three stages' work; DACPara's split operators only ever
+//! discard the (cheap) replacement attempt. These counters make that
+//! difference measurable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Atomic counters describing a speculative execution run.
+#[derive(Debug, Default)]
+pub struct SpecStats {
+    conflicts: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    wasted_ns: AtomicU64,
+    useful_ns: AtomicU64,
+}
+
+impl SpecStats {
+    /// Creates zeroed counters.
+    pub fn new() -> SpecStats {
+        SpecStats::default()
+    }
+
+    /// Records a lock-acquisition conflict.
+    pub fn record_conflict(&self) {
+        self.conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a committed activity and the time it took.
+    pub fn record_commit(&self, took: Duration) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.useful_ns
+            .fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records an aborted activity whose computation of `took` was lost.
+    pub fn record_abort(&self, took: Duration) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+        self.wasted_ns
+            .fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Number of lock conflicts observed.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Number of committed activities.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Number of aborted activities.
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds of computation discarded by aborts.
+    pub fn wasted_ns(&self) -> u64 {
+        self.wasted_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds of committed computation.
+    pub fn useful_ns(&self) -> u64 {
+        self.useful_ns.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of all operator time that was discarded (`0.0` when no time
+    /// has been recorded).
+    pub fn wasted_fraction(&self) -> f64 {
+        let wasted = self.wasted_ns() as f64;
+        let total = wasted + self.useful_ns() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            wasted / total
+        }
+    }
+
+    /// Adds another set of counters into this one.
+    pub fn merge(&self, other: &SpecStats) {
+        self.conflicts
+            .fetch_add(other.conflicts(), Ordering::Relaxed);
+        self.commits.fetch_add(other.commits(), Ordering::Relaxed);
+        self.aborts.fetch_add(other.aborts(), Ordering::Relaxed);
+        self.wasted_ns
+            .fetch_add(other.wasted_ns(), Ordering::Relaxed);
+        self.useful_ns
+            .fetch_add(other.useful_ns(), Ordering::Relaxed);
+    }
+
+    /// Plain-value snapshot for reporting.
+    pub fn snapshot(&self) -> SpecSnapshot {
+        SpecSnapshot {
+            conflicts: self.conflicts(),
+            commits: self.commits(),
+            aborts: self.aborts(),
+            wasted_ns: self.wasted_ns(),
+            useful_ns: self.useful_ns(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`SpecStats`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpecSnapshot {
+    /// Lock-acquisition conflicts.
+    pub conflicts: u64,
+    /// Committed activities.
+    pub commits: u64,
+    /// Aborted activities.
+    pub aborts: u64,
+    /// Nanoseconds discarded by aborts.
+    pub wasted_ns: u64,
+    /// Nanoseconds of committed work.
+    pub useful_ns: u64,
+}
+
+impl SpecSnapshot {
+    /// Fraction of operator time discarded.
+    pub fn wasted_fraction(&self) -> f64 {
+        let total = (self.wasted_ns + self.useful_ns) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.wasted_ns as f64 / total
+        }
+    }
+}
+
+impl std::fmt::Display for SpecSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "commits={} aborts={} conflicts={} wasted={:.1}%",
+            self.commits,
+            self.aborts,
+            self.conflicts,
+            self.wasted_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_accumulates() {
+        let s = SpecStats::new();
+        s.record_commit(Duration::from_nanos(100));
+        s.record_abort(Duration::from_nanos(300));
+        s.record_conflict();
+        assert_eq!(s.commits(), 1);
+        assert_eq!(s.aborts(), 1);
+        assert_eq!(s.conflicts(), 1);
+        assert!((s.wasted_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let a = SpecStats::new();
+        let b = SpecStats::new();
+        a.record_commit(Duration::from_nanos(10));
+        b.record_abort(Duration::from_nanos(30));
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.aborts, 1);
+        assert_eq!(snap.wasted_ns, 30);
+    }
+
+    #[test]
+    fn empty_stats_waste_nothing() {
+        assert_eq!(SpecStats::new().wasted_fraction(), 0.0);
+        assert_eq!(SpecSnapshot::default().wasted_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! NPN canonicalization of 4-input functions.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+use crate::{NpnTransform, Tt4};
+
+/// Canonical representative of `f`'s NPN class: the minimum raw truth table
+/// over all 768 transforms, together with one transform achieving it.
+///
+/// Results are memoized in a process-wide cache since rewriting
+/// canonicalizes the same handful of functions over and over.
+///
+/// # Example
+///
+/// ```
+/// use dacpara_npn::{canon, Tt4};
+/// let (c1, _) = canon(Tt4::var(0));
+/// let (c2, _) = canon(!Tt4::var(3));
+/// assert_eq!(c1, c2); // all (possibly negated) projections share a class
+/// ```
+pub fn canon(f: Tt4) -> (Tt4, NpnTransform) {
+    static CACHE: OnceLock<RwLock<HashMap<u16, (Tt4, NpnTransform)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(&hit) = cache.read().expect("npn cache poisoned").get(&f.raw()) {
+        return hit;
+    }
+    let result = canon_uncached(f);
+    cache
+        .write()
+        .expect("npn cache poisoned")
+        .insert(f.raw(), result);
+    result
+}
+
+/// Like [`canon`] but bypassing the memo cache.
+pub fn canon_uncached(f: Tt4) -> (Tt4, NpnTransform) {
+    let mut best = (Tt4::TRUE, NpnTransform::IDENTITY);
+    let mut first = true;
+    for t in NpnTransform::all() {
+        let g = t.apply(f);
+        if first || g < best.0 {
+            best = (g, t);
+            first = false;
+        }
+    }
+    best
+}
+
+/// The full orbit of `f`: every function NPN-equivalent to it.
+pub fn orbit(f: Tt4) -> Vec<Tt4> {
+    let mut seen = vec![false; 1 << 16];
+    let mut out = Vec::new();
+    for t in NpnTransform::all() {
+        let g = t.apply(f);
+        if !seen[g.raw() as usize] {
+            seen[g.raw() as usize] = true;
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Whether two functions are NPN-equivalent.
+pub fn npn_equivalent(f: Tt4, g: Tt4) -> bool {
+    canon(f).0 == canon(g).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canon_is_invariant_over_the_orbit() {
+        let f = Tt4::from_raw(0x6996); // xor of the four variables
+        let (c, _) = canon(f);
+        for g in orbit(f).into_iter().take(50) {
+            assert_eq!(canon(g).0, c);
+        }
+    }
+
+    #[test]
+    fn canon_transform_achieves_canon() {
+        for raw in [0x0000u16, 0xFFFF, 0x8000, 0x1ee7, 0x6996, 0xCAFE] {
+            let f = Tt4::from_raw(raw);
+            let (c, t) = canon(f);
+            assert_eq!(t.apply(f), c);
+        }
+    }
+
+    #[test]
+    fn constants_are_their_own_classes() {
+        assert_eq!(canon(Tt4::FALSE).0, Tt4::FALSE);
+        // TRUE canonicalizes to FALSE via output negation.
+        assert_eq!(canon(Tt4::TRUE).0, Tt4::FALSE);
+    }
+
+    #[test]
+    fn equivalence_is_symmetric() {
+        let f = Tt4::var(0) & Tt4::var(1);
+        let g = !(Tt4::var(2) | Tt4::var(3));
+        assert!(npn_equivalent(f, g));
+        assert!(npn_equivalent(g, f));
+        assert!(!npn_equivalent(f, Tt4::var(0) ^ Tt4::var(1)));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! Truth tables and NPN classification of 4-input Boolean functions.
+//!
+//! DAG-aware rewriting evaluates each 4-input cut against precomputed
+//! replacement structures stored *per NPN class*: two functions are
+//! NPN-equivalent when one can be obtained from the other by negating and/or
+//! permuting inputs and possibly negating the output. The 65536 4-input
+//! functions fall into exactly 222 such classes.
+//!
+//! This crate provides:
+//!
+//! * [`Tt4`] — 16-bit truth tables with cofactoring, support analysis,
+//!   permutation and negation primitives,
+//! * [`NpnTransform`] — the 768 NPN transforms, with the *inverse wiring*
+//!   query a rewriter needs ([`NpnTransform::wire`]),
+//! * [`canon`] — memoized canonicalization,
+//! * [`ClassRegistry`] — the 222 classes, plus the "practical" subset
+//!   mirroring ABC's 134-class `rewrite` configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use dacpara_npn::{canon, ClassRegistry, Tt4};
+//!
+//! let f = Tt4::var(0) & (Tt4::var(1) | Tt4::var(2));
+//! let (rep, transform) = canon(f);
+//! assert_eq!(transform.apply(f), rep);
+//! let reg = ClassRegistry::global();
+//! assert_eq!(reg.representative(reg.class_of(f)), rep);
+//! ```
+
+mod canon;
+mod classes;
+mod transform;
+mod tt;
+
+pub use canon::{canon, canon_uncached, npn_equivalent, orbit};
+pub use classes::{ClassId, ClassRegistry};
+pub use transform::{NpnTransform, PERMS};
+pub use tt::{Tt4, VAR_TT};

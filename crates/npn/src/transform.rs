@@ -1,0 +1,153 @@
+//! NPN transforms: input negation, input permutation, output negation.
+
+use crate::Tt4;
+
+/// All 24 permutations of four elements, in lexicographic order.
+pub const PERMS: [[u8; 4]; 24] = [
+    [0, 1, 2, 3], [0, 1, 3, 2], [0, 2, 1, 3], [0, 2, 3, 1], [0, 3, 1, 2], [0, 3, 2, 1],
+    [1, 0, 2, 3], [1, 0, 3, 2], [1, 2, 0, 3], [1, 2, 3, 0], [1, 3, 0, 2], [1, 3, 2, 0],
+    [2, 0, 1, 3], [2, 0, 3, 1], [2, 1, 0, 3], [2, 1, 3, 0], [2, 3, 0, 1], [2, 3, 1, 0],
+    [3, 0, 1, 2], [3, 0, 2, 1], [3, 1, 0, 2], [3, 1, 2, 0], [3, 2, 0, 1], [3, 2, 1, 0],
+];
+
+/// One of the 768 NPN transforms of a 4-input function.
+///
+/// Applying the transform to `f` yields `g` with
+///
+/// ```text
+/// g(y0..y3) = output_neg ^ f(x0..x3),   x_i = y_perm[i] ^ input_neg[i]
+/// ```
+///
+/// so [`NpnTransform::apply`] maps a function to (eventually) its canonical
+/// representative, and [`NpnTransform::wire`] answers the inverse question a
+/// rewriter needs: *given the leaves that feed `f`, which literals feed the
+/// library structure that computes `g`?*
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct NpnTransform {
+    /// Index into [`PERMS`].
+    pub perm: u8,
+    /// Bit `i` set means input `x_i` is negated.
+    pub input_neg: u8,
+    /// Whether the output is negated.
+    pub output_neg: bool,
+}
+
+impl NpnTransform {
+    /// The identity transform.
+    pub const IDENTITY: NpnTransform = NpnTransform {
+        perm: 0,
+        input_neg: 0,
+        output_neg: false,
+    };
+
+    /// Iterator over all 768 transforms.
+    pub fn all() -> impl Iterator<Item = NpnTransform> {
+        (0..24u8).flat_map(|perm| {
+            (0..16u8).flat_map(move |input_neg| {
+                [false, true].into_iter().map(move |output_neg| NpnTransform {
+                    perm,
+                    input_neg,
+                    output_neg,
+                })
+            })
+        })
+    }
+
+    /// Applies the transform to a truth table.
+    pub fn apply(&self, f: Tt4) -> Tt4 {
+        let perm = PERMS[self.perm as usize];
+        let mut g = 0u16;
+        for a in 0..16u16 {
+            let mut b = 0u16;
+            for i in 0..4 {
+                let y = a >> perm[i] & 1;
+                b |= (y ^ (self.input_neg >> i & 1) as u16) << i;
+            }
+            if f.raw() >> b & 1 != 0 {
+                g |= 1 << a;
+            }
+        }
+        if self.output_neg {
+            !Tt4::from_raw(g)
+        } else {
+            Tt4::from_raw(g)
+        }
+    }
+
+    /// Rewires the four leaf slots of `f` into the input slots of the
+    /// structure computing `apply(self, f)`.
+    ///
+    /// Returns `(wiring, output_neg)`: `wiring[j]` is `(leaf_index, negate)`
+    /// — structure input `y_j` must be driven by leaf `leaf_index`,
+    /// complemented when `negate` is true; the structure's output must be
+    /// complemented when `output_neg` is true to recover `f`.
+    pub fn wire(&self) -> ([(usize, bool); 4], bool) {
+        let perm = PERMS[self.perm as usize];
+        let mut wiring = [(0usize, false); 4];
+        for i in 0..4 {
+            // y_{perm[i]} = x_i ^ input_neg[i]
+            wiring[perm[i] as usize] = (i, self.input_neg >> i & 1 != 0);
+        }
+        (wiring, self.output_neg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perms_are_all_distinct_permutations() {
+        for p in PERMS {
+            let mut seen = [false; 4];
+            for &x in &p {
+                assert!(!seen[x as usize]);
+                seen[x as usize] = true;
+            }
+        }
+        let set: std::collections::HashSet<_> = PERMS.iter().collect();
+        assert_eq!(set.len(), 24);
+    }
+
+    #[test]
+    fn identity_transform_is_identity() {
+        let f = Tt4::from_raw(0x1ee7);
+        assert_eq!(NpnTransform::IDENTITY.apply(f), f);
+    }
+
+    #[test]
+    fn there_are_768_transforms() {
+        assert_eq!(NpnTransform::all().count(), 768);
+    }
+
+    #[test]
+    fn output_negation_complements() {
+        let f = Tt4::from_raw(0xCAFE);
+        let t = NpnTransform {
+            perm: 0,
+            input_neg: 0,
+            output_neg: true,
+        };
+        assert_eq!(t.apply(f), !f);
+    }
+
+    #[test]
+    fn wire_inverts_apply() {
+        // For every transform t and function f: evaluating the transformed
+        // function on the wired inputs (plus output fix-up) recovers f.
+        let f = Tt4::from_raw(0x2b3d);
+        for t in NpnTransform::all().step_by(7) {
+            let g = t.apply(f);
+            let (wiring, out_neg) = t.wire();
+            for m in 0..16usize {
+                let xs = [m & 1 != 0, m >> 1 & 1 != 0, m >> 2 & 1 != 0, m >> 3 & 1 != 0];
+                let ys: [bool; 4] = std::array::from_fn(|j| {
+                    let (leaf, neg) = wiring[j];
+                    xs[leaf] ^ neg
+                });
+                let recovered = g.eval(ys) ^ out_neg;
+                assert_eq!(recovered, f.eval(xs), "transform {t:?} minterm {m}");
+            }
+        }
+    }
+}

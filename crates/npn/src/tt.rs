@@ -1,0 +1,266 @@
+//! Truth tables of Boolean functions over (up to) four variables.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// Truth table of a 4-input Boolean function, one bit per minterm.
+///
+/// Bit `m` holds `f(x0, x1, x2, x3)` where `x_k` is bit `k` of `m`.
+///
+/// # Example
+///
+/// ```
+/// use dacpara_npn::Tt4;
+/// let x0 = Tt4::var(0);
+/// let x1 = Tt4::var(1);
+/// let and = x0 & x1;
+/// assert_eq!(and.count_ones(), 4); // x2, x3 free
+/// assert!(and.eval([true, true, false, false]));
+/// assert!(!and.eval([true, false, false, false]));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tt4(u16);
+
+/// Elementary truth tables of the four variables.
+pub const VAR_TT: [u16; 4] = [0xAAAA, 0xCCCC, 0xF0F0, 0xFF00];
+
+impl Tt4 {
+    /// The constant-false function.
+    pub const FALSE: Tt4 = Tt4(0x0000);
+    /// The constant-true function.
+    pub const TRUE: Tt4 = Tt4(0xFFFF);
+
+    /// Builds a table from its raw 16-bit encoding.
+    #[inline]
+    pub const fn from_raw(bits: u16) -> Tt4 {
+        Tt4(bits)
+    }
+
+    /// Raw 16-bit encoding.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// The projection onto variable `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 4`.
+    #[inline]
+    pub const fn var(k: usize) -> Tt4 {
+        Tt4(VAR_TT[k])
+    }
+
+    /// Evaluates the function on an assignment.
+    #[inline]
+    pub fn eval(self, xs: [bool; 4]) -> bool {
+        let m = xs[0] as usize | (xs[1] as usize) << 1 | (xs[2] as usize) << 2
+            | (xs[3] as usize) << 3;
+        self.0 >> m & 1 != 0
+    }
+
+    /// Bit `m` of the table.
+    #[inline]
+    pub fn bit(self, m: usize) -> bool {
+        debug_assert!(m < 16);
+        self.0 >> m & 1 != 0
+    }
+
+    /// Number of satisfying minterms.
+    #[inline]
+    pub fn count_ones(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the function is constant (true or false).
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 == 0 || self.0 == 0xFFFF
+    }
+
+    /// Positive cofactor with respect to variable `k`.
+    #[inline]
+    pub fn cofactor1(self, k: usize) -> Tt4 {
+        let v = VAR_TT[k];
+        let hi = self.0 & v;
+        Tt4(hi | hi >> (1 << k))
+    }
+
+    /// Negative cofactor with respect to variable `k`.
+    #[inline]
+    pub fn cofactor0(self, k: usize) -> Tt4 {
+        let v = !VAR_TT[k];
+        let lo = self.0 & v;
+        Tt4(lo | lo << (1 << k))
+    }
+
+    /// Whether the function depends on variable `k`.
+    #[inline]
+    pub fn depends_on(self, k: usize) -> bool {
+        self.cofactor0(k) != self.cofactor1(k)
+    }
+
+    /// Bitmask of the variables the function depends on.
+    pub fn support(self) -> u8 {
+        let mut s = 0u8;
+        for k in 0..4 {
+            if self.depends_on(k) {
+                s |= 1 << k;
+            }
+        }
+        s
+    }
+
+    /// Number of variables the function depends on.
+    pub fn support_size(self) -> usize {
+        self.support().count_ones() as usize
+    }
+
+    /// The function with variable `k` negated.
+    #[inline]
+    pub fn flip_var(self, k: usize) -> Tt4 {
+        let v = VAR_TT[k];
+        let shift = 1 << k;
+        Tt4((self.0 & v) >> shift | (self.0 & !v) << shift)
+    }
+
+    /// The function with its variables renamed: the result `g` satisfies
+    /// `g(x0..x3) = self(x_perm[0], .., x_perm[3])`.
+    pub fn permute(self, perm: [u8; 4]) -> Tt4 {
+        let mut g = 0u16;
+        for a in 0..16u16 {
+            let mut b = 0u16;
+            for (j, &p) in perm.iter().enumerate() {
+                b |= (a >> p & 1) << j;
+            }
+            if self.0 >> b & 1 != 0 {
+                g |= 1 << a;
+            }
+        }
+        Tt4(g)
+    }
+}
+
+impl Not for Tt4 {
+    type Output = Tt4;
+    #[inline]
+    fn not(self) -> Tt4 {
+        Tt4(!self.0)
+    }
+}
+
+impl BitAnd for Tt4 {
+    type Output = Tt4;
+    #[inline]
+    fn bitand(self, rhs: Tt4) -> Tt4 {
+        Tt4(self.0 & rhs.0)
+    }
+}
+
+impl BitOr for Tt4 {
+    type Output = Tt4;
+    #[inline]
+    fn bitor(self, rhs: Tt4) -> Tt4 {
+        Tt4(self.0 | rhs.0)
+    }
+}
+
+impl BitXor for Tt4 {
+    type Output = Tt4;
+    #[inline]
+    fn bitxor(self, rhs: Tt4) -> Tt4 {
+        Tt4(self.0 ^ rhs.0)
+    }
+}
+
+impl fmt::Debug for Tt4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tt4(0x{:04x})", self.0)
+    }
+}
+
+impl fmt::Display for Tt4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:04x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Tt4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Tt4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementary_tables_are_projections() {
+        for k in 0..4 {
+            let v = Tt4::var(k);
+            for m in 0..16 {
+                assert_eq!(v.bit(m), m >> k & 1 != 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cofactors_shannon_expand() {
+        for raw in [0x8001u16, 0x1234, 0xCAFE, 0x6996] {
+            let f = Tt4::from_raw(raw);
+            for k in 0..4 {
+                let x = Tt4::var(k);
+                let expanded = (x & f.cofactor1(k)) | (!x & f.cofactor0(k));
+                assert_eq!(expanded, f, "var {k} of {f}");
+                assert!(!f.cofactor0(k).depends_on(k));
+                assert!(!f.cofactor1(k).depends_on(k));
+            }
+        }
+    }
+
+    #[test]
+    fn support_detects_dependence() {
+        let f = Tt4::var(0) & Tt4::var(2);
+        assert_eq!(f.support(), 0b0101);
+        assert_eq!(f.support_size(), 2);
+        assert_eq!(Tt4::TRUE.support(), 0);
+    }
+
+    #[test]
+    fn flip_var_is_involution() {
+        for raw in [0x8001u16, 0x1234, 0xCAFE] {
+            let f = Tt4::from_raw(raw);
+            for k in 0..4 {
+                assert_eq!(f.flip_var(k).flip_var(k), f);
+                // flipping changes evaluation accordingly
+                for m in 0..16usize {
+                    assert_eq!(f.flip_var(k).bit(m), f.bit(m ^ (1 << k)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permute_identity_and_composition() {
+        let f = Tt4::from_raw(0x1ee7);
+        assert_eq!(f.permute([0, 1, 2, 3]), f);
+        let p = [2u8, 0, 3, 1];
+        let q = [1u8, 3, 0, 2]; // inverse of p
+        assert_eq!(f.permute(p).permute(q), f);
+    }
+
+    #[test]
+    fn permute_swaps_variables() {
+        let f = Tt4::var(0);
+        let g = f.permute([1, 0, 2, 3]);
+        assert_eq!(g, Tt4::var(1));
+    }
+}

@@ -1,0 +1,201 @@
+//! Algebraic "quick factoring" of SOP covers (the classic literal-division
+//! heuristic). Two-level ISOP covers are poor AIG structures — factoring
+//! `ab + ac + bc` into `a(b + c) + bc` is what turns the 5-gate majority
+//! into the optimal 4-gate one, and similarly across the library.
+
+use dacpara_npn::Tt4;
+
+use crate::forest::{FLit, Forest};
+use crate::isop::{isop, Cube};
+
+/// A literal of a cube: variable index plus polarity (`true` = negated).
+type CubeLit = (u8, bool);
+
+fn cube_literals(cube: &Cube) -> Vec<CubeLit> {
+    let mut lits = Vec::new();
+    for k in 0..4u8 {
+        if cube.pos >> k & 1 != 0 {
+            lits.push((k, false));
+        }
+        if cube.neg >> k & 1 != 0 {
+            lits.push((k, true));
+        }
+    }
+    lits
+}
+
+fn cube_contains(cube: &Cube, lit: CubeLit) -> bool {
+    let mask = 1u8 << lit.0;
+    if lit.1 {
+        cube.neg & mask != 0
+    } else {
+        cube.pos & mask != 0
+    }
+}
+
+fn cube_without(cube: &Cube, lit: CubeLit) -> Cube {
+    let mask = 1u8 << lit.0;
+    if lit.1 {
+        Cube {
+            pos: cube.pos,
+            neg: cube.neg & !mask,
+        }
+    } else {
+        Cube {
+            pos: cube.pos & !mask,
+            neg: cube.neg,
+        }
+    }
+}
+
+fn forest_lit(lit: CubeLit) -> FLit {
+    let base = Forest::var(lit.0 as usize);
+    if lit.1 {
+        !base
+    } else {
+        base
+    }
+}
+
+/// Builds one cube as a (left-leaning) AND chain.
+fn build_cube(forest: &mut Forest, cube: &Cube) -> FLit {
+    let lits = cube_literals(cube);
+    if lits.is_empty() {
+        return FLit::TRUE;
+    }
+    let mut acc = forest_lit(lits[0]);
+    for &l in &lits[1..] {
+        let fl = forest_lit(l);
+        acc = forest.add_and(acc, fl);
+    }
+    acc
+}
+
+/// Recursive quick factor: pull out the most frequent literal, divide, and
+/// recurse on quotient and remainder.
+fn quick_factor(forest: &mut Forest, cubes: &[Cube]) -> FLit {
+    if cubes.is_empty() {
+        return FLit::FALSE;
+    }
+    if cubes.len() == 1 {
+        return build_cube(forest, &cubes[0]);
+    }
+    // Most frequent literal across the cover.
+    let mut best: Option<(CubeLit, usize)> = None;
+    for k in 0..4u8 {
+        for neg in [false, true] {
+            let lit = (k, neg);
+            let count = cubes.iter().filter(|c| cube_contains(c, lit)).count();
+            if count >= 2 && best.map_or(true, |(_, bc)| count > bc) {
+                best = Some((lit, count));
+            }
+        }
+    }
+    let Some((lit, _)) = best else {
+        // No common literal: plain OR of the cubes.
+        let mut acc = build_cube(forest, &cubes[0]);
+        for c in &cubes[1..] {
+            let term = build_cube(forest, c);
+            acc = forest.add_or(acc, term);
+        }
+        return acc;
+    };
+    let quotient: Vec<Cube> = cubes
+        .iter()
+        .filter(|c| cube_contains(c, lit))
+        .map(|c| cube_without(c, lit))
+        .collect();
+    let remainder: Vec<Cube> = cubes
+        .iter()
+        .filter(|c| !cube_contains(c, lit))
+        .cloned()
+        .collect();
+    let q = quick_factor(forest, &quotient);
+    let l = forest_lit(lit);
+    let lq = forest.add_and(l, q);
+    if remainder.is_empty() {
+        lq
+    } else {
+        let r = quick_factor(forest, &remainder);
+        forest.add_or(lq, r)
+    }
+}
+
+/// Builds `f` from the quick-factored form of its irredundant SOP.
+///
+/// # Example
+///
+/// ```
+/// use dacpara_npn::Tt4;
+/// use dacpara_nst::{factor_build, Forest};
+///
+/// let mut forest = Forest::new();
+/// let maj = Tt4::from_raw(0xE8E8); // maj(x0, x1, x2)
+/// let root = factor_build(&mut forest, maj);
+/// assert_eq!(forest.tt(root), maj);
+/// assert_eq!(forest.cone_size(root), 4); // a(b+c) + bc
+/// ```
+pub fn factor_build(forest: &mut Forest, f: Tt4) -> FLit {
+    if f == Tt4::FALSE {
+        return FLit::FALSE;
+    }
+    if f == Tt4::TRUE {
+        return FLit::TRUE;
+    }
+    let cover = isop(f);
+    let root = quick_factor(forest, &cover);
+    debug_assert_eq!(forest.tt(root), f);
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factoring_is_exact_everywhere() {
+        let mut forest = Forest::new();
+        for raw in (0..=u16::MAX).step_by(61) {
+            let f = Tt4::from_raw(raw);
+            let root = factor_build(&mut forest, f);
+            assert_eq!(forest.tt(root), f, "0x{raw:04x}");
+        }
+    }
+
+    #[test]
+    fn majority_factors_to_four_gates() {
+        let mut forest = Forest::new();
+        let maj = Tt4::from_raw(0xE8E8);
+        let root = factor_build(&mut forest, maj);
+        assert_eq!(forest.tt(root), maj);
+        assert!(forest.cone_size(root) <= 4, "got {}", forest.cone_size(root));
+    }
+
+    #[test]
+    fn factoring_never_loses_to_flat_isop() {
+        use crate::shannon::isop_build;
+        let mut f1 = Forest::new();
+        let mut f2 = Forest::new();
+        let mut wins = 0;
+        for raw in (0..=u16::MAX).step_by(257) {
+            let f = Tt4::from_raw(raw);
+            let fact = factor_build(&mut f1, f);
+            let flat = isop_build(&mut f2, f);
+            if f1.cone_size(fact) < f2.cone_size(flat) {
+                wins += 1;
+            }
+        }
+        assert!(wins > 20, "factoring should often beat flat ISOP, won {wins}");
+    }
+
+    #[test]
+    fn single_literal_functions() {
+        let mut forest = Forest::new();
+        for k in 0..4 {
+            let root = factor_build(&mut forest, Tt4::var(k));
+            assert_eq!(root, Forest::var(k));
+            let rootn = factor_build(&mut forest, !Tt4::var(k));
+            assert_eq!(forest.tt(rootn), !Tt4::var(k));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Irredundant sum-of-products extraction (Minato–Morreale).
+
+use dacpara_npn::Tt4;
+
+/// A product term over up to four variables.
+///
+/// Bit `k` of `pos` requires `x_k`, bit `k` of `neg` requires `!x_k`; the
+/// masks are disjoint. An all-zero cube is the constant-true term.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Cube {
+    /// Variables appearing positively.
+    pub pos: u8,
+    /// Variables appearing negatively.
+    pub neg: u8,
+}
+
+impl Cube {
+    /// The function of this product term.
+    pub fn tt(&self) -> Tt4 {
+        let mut t = Tt4::TRUE;
+        for k in 0..4 {
+            if self.pos >> k & 1 != 0 {
+                t = t & Tt4::var(k);
+            }
+            if self.neg >> k & 1 != 0 {
+                t = t & !Tt4::var(k);
+            }
+        }
+        t
+    }
+
+    /// Number of literals in the cube.
+    pub fn literals(&self) -> u32 {
+        (self.pos | self.neg).count_ones() + (self.pos & self.neg).count_ones()
+    }
+}
+
+/// Computes an irredundant SOP cover of `f` with the Minato–Morreale
+/// procedure. The returned cubes OR together to exactly `f`.
+///
+/// # Example
+///
+/// ```
+/// use dacpara_npn::Tt4;
+/// use dacpara_nst::isop;
+///
+/// let f = (Tt4::var(0) & Tt4::var(1)) | Tt4::var(2);
+/// let cover = isop(f);
+/// let mut or = Tt4::FALSE;
+/// for cube in &cover {
+///     or = or | cube.tt();
+/// }
+/// assert_eq!(or, f);
+/// ```
+pub fn isop(f: Tt4) -> Vec<Cube> {
+    let (cover, g) = isop_rec(f, f, 0);
+    debug_assert_eq!(g, f);
+    cover
+}
+
+/// `lower <= cover <= upper`; `var` is the next variable to split on.
+fn isop_rec(lower: Tt4, upper: Tt4, var: usize) -> (Vec<Cube>, Tt4) {
+    debug_assert_eq!(lower & !upper, Tt4::FALSE, "lower must imply upper");
+    if lower == Tt4::FALSE {
+        return (Vec::new(), Tt4::FALSE);
+    }
+    if upper == Tt4::TRUE {
+        return (vec![Cube { pos: 0, neg: 0 }], Tt4::TRUE);
+    }
+    // Find a splitting variable on which lower or upper depends.
+    let mut k = var;
+    while k < 4 && !lower.depends_on(k) && !upper.depends_on(k) {
+        k += 1;
+    }
+    debug_assert!(k < 4, "non-constant bounds must depend on some variable");
+
+    let l0 = lower.cofactor0(k);
+    let l1 = lower.cofactor1(k);
+    let u0 = upper.cofactor0(k);
+    let u1 = upper.cofactor1(k);
+
+    // Terms that must carry !x_k (needed when x_k = 0 but not allowed at 1).
+    let (mut c0, f0) = isop_rec(l0 & !u1, u0, k + 1);
+    // Terms that must carry x_k.
+    let (mut c1, f1) = isop_rec(l1 & !u0, u1, k + 1);
+    // Remainder, shared between both cofactors.
+    let lnew = (l0 & !f0) | (l1 & !f1);
+    let (cd, fd) = isop_rec(lnew, u0 & u1, k + 1);
+
+    for c in &mut c0 {
+        c.neg |= 1 << k;
+    }
+    for c in &mut c1 {
+        c.pos |= 1 << k;
+    }
+    let mut cover = c0;
+    cover.extend(c1);
+    cover.extend(cd);
+
+    let x = Tt4::var(k);
+    let func = (!x & f0) | (x & f1) | fd;
+    (cover, func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover_tt(cover: &[Cube]) -> Tt4 {
+        cover.iter().fold(Tt4::FALSE, |acc, c| acc | c.tt())
+    }
+
+    #[test]
+    fn covers_are_exact() {
+        for raw in [0x0000u16, 0xFFFF, 0x8000, 0x6996, 0xCAFE, 0x1ee7, 0xF0E1] {
+            let f = Tt4::from_raw(raw);
+            assert_eq!(cover_tt(&isop(f)), f, "function 0x{raw:04x}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_exactness() {
+        // Every 4-input function must be covered exactly.
+        for raw in (0..=u16::MAX).step_by(37) {
+            let f = Tt4::from_raw(raw);
+            assert_eq!(cover_tt(&isop(f)), f);
+        }
+    }
+
+    #[test]
+    fn covers_are_irredundant() {
+        for raw in [0x8000u16, 0x6996, 0xCAFE, 0xACCA] {
+            let f = Tt4::from_raw(raw);
+            let cover = isop(f);
+            for skip in 0..cover.len() {
+                let without: Vec<Cube> = cover
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, c)| *c)
+                    .collect();
+                assert_ne!(cover_tt(&without), f, "cube {skip} of 0x{raw:04x} redundant");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_covers() {
+        assert!(isop(Tt4::FALSE).is_empty());
+        let t = isop(Tt4::TRUE);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].literals(), 0);
+    }
+}

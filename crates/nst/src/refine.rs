@@ -1,0 +1,241 @@
+//! Bounded bottom-up enumeration that *refines* the synthesized library:
+//! starting from the best known implementation of every function reached so
+//! far, repeatedly AND together cheap implementations (all four input
+//! polarities) and keep any strictly better result. This recovers
+//! optimal-size structures that decomposition heuristics miss, in the
+//! spirit of how ABC's precomputed library was originally enumerated.
+
+use std::collections::HashMap;
+
+use dacpara_npn::Tt4;
+
+use crate::forest::{FLit, Forest};
+
+/// Parameters of the refinement sweep.
+#[derive(Copy, Clone, Debug)]
+pub struct RefineParams {
+    /// Enumeration rounds (each round combines current best implementations).
+    pub rounds: usize,
+    /// Only implementations with at most this many gates participate as
+    /// operands (bounds the quadratic pair loop).
+    pub max_operand_cost: u32,
+    /// Results larger than this are not recorded.
+    pub max_result_cost: u32,
+    /// At most this many cheapest operands participate per round.
+    pub max_operands: usize,
+}
+
+impl Default for RefineParams {
+    fn default() -> Self {
+        RefineParams {
+            rounds: 3,
+            max_operand_cost: 5,
+            max_result_cost: 11,
+            max_operands: 1200,
+        }
+    }
+}
+
+/// Tracks the cheapest known forest literal per function.
+#[derive(Debug, Default)]
+pub struct BestTable {
+    best: HashMap<u16, FLit>,
+}
+
+impl BestTable {
+    /// Creates an empty table.
+    pub fn new() -> BestTable {
+        BestTable::default()
+    }
+
+    /// Records `lit` (computing `tt` in `forest`) if it beats the current
+    /// best; the complemented entry is recorded for free (complements live
+    /// on edges). Returns whether the table changed.
+    pub fn record(&mut self, forest: &Forest, tt: Tt4, lit: FLit) -> bool {
+        let cost = forest.cone_size(lit);
+        let mut changed = false;
+        for (t, l) in [(tt, lit), (!tt, !lit)] {
+            match self.best.get(&t.raw()) {
+                Some(&old) if forest.cone_size(old) <= cost => {}
+                _ => {
+                    self.best.insert(t.raw(), l);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// The cheapest known implementation of `tt`, if any.
+    pub fn get(&self, tt: Tt4) -> Option<FLit> {
+        self.best.get(&tt.raw()).copied()
+    }
+
+    /// Number of distinct functions with a known implementation.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// Whether no function has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+}
+
+/// Seeds a [`BestTable`] from every node already present in `forest`.
+pub fn seed_from_forest(forest: &Forest, table: &mut BestTable) {
+    // Constants and variables.
+    table.record(forest, Tt4::FALSE, FLit::FALSE);
+    for k in 0..4 {
+        table.record(forest, Tt4::var(k), Forest::var(k));
+    }
+    for node in 5..forest.len() as u32 {
+        let lit = FLit::positive(node);
+        table.record(forest, forest.tt(lit), lit);
+    }
+}
+
+/// Runs the bounded enumeration; returns how many functions got a strictly
+/// cheaper implementation.
+pub fn refine(forest: &mut Forest, table: &mut BestTable, params: &RefineParams) -> usize {
+    let mut improvements = 0usize;
+    for _ in 0..params.rounds {
+        // Snapshot the cheap operands, cheapest first.
+        let mut operands: Vec<FLit> = table
+            .best
+            .values()
+            .copied()
+            .filter(|&l| forest.cone_size(l) <= params.max_operand_cost)
+            .collect();
+        operands.sort_by_key(|&l| forest.cone_size(l));
+        operands.dedup();
+        operands.truncate(params.max_operands);
+
+        let mut round_improved = 0usize;
+        for i in 0..operands.len() {
+            for j in i..operands.len() {
+                let (a, b) = (operands[i], operands[j]);
+                if forest.cone_size(a) + forest.cone_size(b) + 1 > params.max_result_cost {
+                    // Operands are sorted by cost; later `j` only get bigger.
+                    break;
+                }
+                for (ca, cb) in [(false, false), (false, true), (true, false), (true, true)] {
+                    let la = if ca { !a } else { a };
+                    let lb = if cb { !b } else { b };
+                    let tt = forest.tt(la) & forest.tt(lb);
+                    if tt == Tt4::FALSE || tt == Tt4::TRUE {
+                        continue;
+                    }
+                    // Conservative pre-check: the new node costs at most
+                    // cost(a) + cost(b) + 1 (sharing can only lower it); if
+                    // the current best is already within that bound, skip
+                    // without allocating. This may miss sharing-driven wins
+                    // but keeps the sweep cheap.
+                    let bound = forest.cone_size(la) + forest.cone_size(lb) + 1;
+                    if let Some(existing) = table.get(tt) {
+                        if forest.cone_size(existing) <= bound.saturating_sub(bound / 4) {
+                            continue;
+                        }
+                    }
+                    let lit = forest.add_and(la, lb);
+                    if table.record(forest, tt, lit) {
+                        round_improved += 1;
+                    }
+                }
+            }
+        }
+        improvements += round_improved;
+        if round_improved == 0 {
+            break;
+        }
+    }
+    improvements
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shannon::{synthesize_candidates, BuildMemo};
+    use dacpara_npn::ClassRegistry;
+
+    fn seeded() -> (Forest, BestTable) {
+        let mut forest = Forest::new();
+        let mut memo = BuildMemo::new();
+        // Seed with the decomposition candidates of a spread of classes.
+        let reg = ClassRegistry::global();
+        for &rep in reg.representatives().iter().step_by(5) {
+            let _ = synthesize_candidates(&mut forest, rep, &mut memo);
+        }
+        let mut table = BestTable::new();
+        seed_from_forest(&forest, &mut table);
+        (forest, table)
+    }
+
+    #[test]
+    fn refinement_never_worsens() {
+        let (mut forest, mut table) = seeded();
+        let before: HashMap<u16, u32> = table
+            .best
+            .iter()
+            .map(|(&tt, &l)| (tt, forest.cone_size(l)))
+            .collect();
+        refine(
+            &mut forest,
+            &mut table,
+            &RefineParams {
+                rounds: 1,
+                max_operands: 300,
+                ..RefineParams::default()
+            },
+        );
+        for (&tt, &cost) in &before {
+            let after = forest.cone_size(table.get(Tt4::from_raw(tt)).unwrap());
+            assert!(after <= cost, "function 0x{tt:04x} got worse: {cost} -> {after}");
+        }
+    }
+
+    #[test]
+    fn refinement_results_stay_correct() {
+        let (mut forest, mut table) = seeded();
+        refine(
+            &mut forest,
+            &mut table,
+            &RefineParams {
+                rounds: 1,
+                max_operands: 300,
+                ..RefineParams::default()
+            },
+        );
+        for (&tt, &lit) in table.best.iter() {
+            assert_eq!(forest.tt(lit).raw(), tt, "0x{tt:04x}");
+        }
+    }
+
+    #[test]
+    fn refinement_finds_improvements_somewhere() {
+        let (mut forest, mut table) = seeded();
+        let improved = refine(
+            &mut forest,
+            &mut table,
+            &RefineParams {
+                rounds: 2,
+                max_operands: 600,
+                ..RefineParams::default()
+            },
+        );
+        assert!(improved > 0, "enumeration should beat pure decomposition somewhere");
+    }
+
+    #[test]
+    fn majority_stays_at_four_gates() {
+        let (mut forest, mut table) = seeded();
+        let maj = Tt4::from_raw(0xE8E8);
+        // Ensure majority is present (factoring gives 4 gates).
+        let root = crate::factor::factor_build(&mut forest, maj);
+        table.record(&forest, maj, root);
+        refine(&mut forest, &mut table, &RefineParams::default());
+        let best = table.get(maj).unwrap();
+        assert!(forest.cone_size(best) <= 4);
+        assert_eq!(forest.tt(best), maj);
+    }
+}

@@ -1,0 +1,196 @@
+//! Structure synthesis strategies: Shannon/XOR decomposition and ISOP
+//! factoring, each producing an alternative implementation of a function.
+
+use std::collections::HashMap;
+
+use dacpara_npn::Tt4;
+
+use crate::factor::factor_build;
+use crate::forest::{FLit, Forest};
+use crate::isop::isop;
+
+/// Memo table shared across one library build: function → forest literal.
+pub type BuildMemo = HashMap<u16, FLit>;
+
+/// Returns a forest literal computing `f`, looking for constant/projection
+/// short-cuts first.
+fn leaf_shortcut(f: Tt4) -> Option<FLit> {
+    if f == Tt4::FALSE {
+        return Some(FLit::FALSE);
+    }
+    if f == Tt4::TRUE {
+        return Some(FLit::TRUE);
+    }
+    for k in 0..4 {
+        if f == Tt4::var(k) {
+            return Some(Forest::var(k));
+        }
+        if f == !Tt4::var(k) {
+            return Some(!Forest::var(k));
+        }
+    }
+    None
+}
+
+/// Recursive Shannon/XOR decomposition choosing the lowest dependent
+/// variable at every level, memoized for cross-class sharing.
+pub fn shannon(forest: &mut Forest, f: Tt4, memo: &mut BuildMemo) -> FLit {
+    if let Some(l) = leaf_shortcut(f) {
+        return l;
+    }
+    if let Some(&hit) = memo.get(&f.raw()) {
+        return hit;
+    }
+    let k = (0..4).find(|&k| f.depends_on(k)).expect("non-leaf depends somewhere");
+    let lit = shannon_split(forest, f, k, memo);
+    memo.insert(f.raw(), lit);
+    lit
+}
+
+/// One Shannon/XOR split on variable `k`, recursing with [`shannon`].
+pub fn shannon_split(forest: &mut Forest, f: Tt4, k: usize, memo: &mut BuildMemo) -> FLit {
+    debug_assert!(f.depends_on(k));
+    let f0 = f.cofactor0(k);
+    let f1 = f.cofactor1(k);
+    let x = Forest::var(k);
+    if f0 == !f1 {
+        // f = x_k XOR f0
+        let g = shannon(forest, f0, memo);
+        return forest.add_xor(x, g);
+    }
+    let hi = shannon(forest, f1, memo);
+    let lo = shannon(forest, f0, memo);
+    forest.add_mux(x, hi, lo)
+}
+
+/// Builds `f` from its irredundant SOP: balanced AND trees per cube, a
+/// balanced OR tree across cubes.
+pub fn isop_build(forest: &mut Forest, f: Tt4) -> FLit {
+    if let Some(l) = leaf_shortcut(f) {
+        return l;
+    }
+    let cover = isop(f);
+    let mut terms: Vec<FLit> = cover
+        .iter()
+        .map(|cube| {
+            let mut lits: Vec<FLit> = Vec::new();
+            for k in 0..4 {
+                if cube.pos >> k & 1 != 0 {
+                    lits.push(Forest::var(k));
+                }
+                if cube.neg >> k & 1 != 0 {
+                    lits.push(!Forest::var(k));
+                }
+            }
+            balanced(forest, &mut lits, true)
+        })
+        .collect();
+    balanced(forest, &mut terms, false)
+}
+
+/// Balanced AND (`conj`) or OR tree over the given literals.
+fn balanced(forest: &mut Forest, lits: &mut Vec<FLit>, conj: bool) -> FLit {
+    if lits.is_empty() {
+        return if conj { FLit::TRUE } else { FLit::FALSE };
+    }
+    while lits.len() > 1 {
+        let mut next = Vec::with_capacity(lits.len() / 2 + 1);
+        for pair in lits.chunks(2) {
+            if pair.len() == 2 {
+                next.push(if conj {
+                    forest.add_and(pair[0], pair[1])
+                } else {
+                    forest.add_or(pair[0], pair[1])
+                });
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        *lits = next;
+    }
+    lits[0]
+}
+
+/// All candidate implementations of `f` this crate knows how to synthesize:
+/// one Shannon/XOR split per dependent variable, plus ISOP factorings of
+/// both polarities. Deduplicated and sorted by cone size.
+pub fn synthesize_candidates(forest: &mut Forest, f: Tt4, memo: &mut BuildMemo) -> Vec<FLit> {
+    let mut roots: Vec<FLit> = Vec::new();
+    if let Some(l) = leaf_shortcut(f) {
+        return vec![l];
+    }
+    for k in 0..4 {
+        if f.depends_on(k) {
+            roots.push(shannon_split(forest, f, k, memo));
+        }
+    }
+    roots.push(isop_build(forest, f));
+    roots.push(!isop_build(forest, !f));
+    roots.push(factor_build(forest, f));
+    roots.push(!factor_build(forest, !f));
+    roots.sort_by_key(|&l| (forest.cone_size(l), l));
+    roots.dedup();
+    debug_assert!(roots.iter().all(|&l| forest.tt(l) == f));
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shannon_computes_the_function() {
+        let mut forest = Forest::new();
+        let mut memo = BuildMemo::new();
+        for raw in [0x6996u16, 0xCAFE, 0x8000, 0xE8E8, 0x1234] {
+            let f = Tt4::from_raw(raw);
+            let l = shannon(&mut forest, f, &mut memo);
+            assert_eq!(forest.tt(l), f, "0x{raw:04x}");
+        }
+    }
+
+    #[test]
+    fn isop_build_computes_the_function() {
+        let mut forest = Forest::new();
+        for raw in (0..=u16::MAX).step_by(131) {
+            let f = Tt4::from_raw(raw);
+            let l = isop_build(&mut forest, f);
+            assert_eq!(forest.tt(l), f, "0x{raw:04x}");
+        }
+    }
+
+    #[test]
+    fn xor_shortcut_is_small() {
+        let mut forest = Forest::new();
+        let mut memo = BuildMemo::new();
+        // 4-input parity: pure Shannon muxing would need many gates; the
+        // XOR detection caps it at 9 (three 3-gate XORs).
+        let parity = Tt4::var(0) ^ Tt4::var(1) ^ Tt4::var(2) ^ Tt4::var(3);
+        let l = shannon(&mut forest, parity, &mut memo);
+        assert_eq!(forest.tt(l), parity);
+        assert!(forest.cone_size(l) <= 9, "got {}", forest.cone_size(l));
+    }
+
+    #[test]
+    fn candidates_are_valid_and_sorted() {
+        let mut forest = Forest::new();
+        let mut memo = BuildMemo::new();
+        let f = Tt4::from_raw(0xE8E8); // maj(x0,x1,x2)
+        let cands = synthesize_candidates(&mut forest, f, &mut memo);
+        assert!(!cands.is_empty());
+        for &c in &cands {
+            assert_eq!(forest.tt(c), f);
+        }
+        for w in cands.windows(2) {
+            assert!(forest.cone_size(w[0]) <= forest.cone_size(w[1]));
+        }
+    }
+
+    #[test]
+    fn projections_need_no_gates() {
+        let mut forest = Forest::new();
+        let mut memo = BuildMemo::new();
+        let cands = synthesize_candidates(&mut forest, !Tt4::var(2), &mut memo);
+        assert_eq!(cands, vec![!Forest::var(2)]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Run all five rewriting engines on the same circuit and compare.
+//!
+//! Run with: `cargo run --release --example compare_methods [gates]`
+
+use dacpara::{run_engine, Engine, RewriteConfig};
+use dacpara_aig::AigRead;
+use dacpara_circuits::{mtm, MtmParams};
+use dacpara_equiv::{random_sim_check, SimOutcome};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gates: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(4_000);
+    let golden = mtm(&MtmParams {
+        inputs: 64,
+        gates,
+        outputs: 24,
+        seed: 7,
+    });
+    println!(
+        "benchmark: MtM-style, {} ANDs, depth {}\n",
+        golden.num_ands(),
+        golden.depth()
+    );
+    println!(
+        "{:<14} {:>8} {:>9} {:>7} {:>8} {:>8} {:>8}  equiv",
+        "engine", "time(s)", "area red", "delay", "repl", "aborts", "waste%"
+    );
+
+    for engine in Engine::ALL {
+        let cfg = match engine {
+            Engine::AbcRewrite => RewriteConfig::rewrite_op(),
+            Engine::Dac22 | Engine::Tcad23 => RewriteConfig::drw_op().with_threads(2),
+            _ => RewriteConfig::rewrite_op().with_threads(2),
+        };
+        let mut aig = golden.clone();
+        let stats = run_engine(&mut aig, engine, &cfg)?;
+        let equiv = match random_sim_check(&golden, &aig, 16, 99) {
+            SimOutcome::NoDifferenceFound => "pass",
+            SimOutcome::Counterexample(_) => "FAIL",
+        };
+        println!(
+            "{:<14} {:>8.3} {:>9} {:>7} {:>8} {:>8} {:>8.2}  {}",
+            stats.engine,
+            stats.time.as_secs_f64(),
+            stats.area_reduction(),
+            stats.delay_after,
+            stats.replacements,
+            stats.spec.aborts,
+            stats.spec.wasted_fraction() * 100.0,
+            equiv
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Explore the generated NPN structure library: per-class structure counts
+//! and sizes, and what the bounded-enumeration refinement buys on top of
+//! the decomposition strategies.
+//!
+//! Run with: `cargo run --release --example library_explorer`
+
+use dacpara_npn::{ClassId, ClassRegistry};
+use dacpara_nst::{NpnLibrary, RefineParams};
+
+fn main() {
+    let reg = ClassRegistry::global();
+    let base = NpnLibrary::global();
+    println!(
+        "structure library: {} classes, {} structures total",
+        base.num_classes(),
+        base.num_structures()
+    );
+
+    // Size histogram of the best structure per class.
+    let mut histogram = std::collections::BTreeMap::<usize, usize>::new();
+    for id in 0..reg.len() as ClassId {
+        *histogram.entry(base.min_size(id)).or_insert(0) += 1;
+    }
+    println!("\nbest-structure size histogram (gates -> classes):");
+    for (size, count) in &histogram {
+        println!("  {size:>2} gates: {count:>3} classes  {}", "#".repeat(*count / 2 + 1));
+    }
+
+    // What refinement improves.
+    println!("\nrunning the bounded-enumeration refinement sweep ...");
+    let refined = NpnLibrary::build_refined(&RefineParams::default());
+    let mut wins = Vec::new();
+    for id in 0..reg.len() as ClassId {
+        let (b, r) = (base.min_size(id), refined.min_size(id));
+        if r < b {
+            wins.push((id, b, r));
+        }
+    }
+    println!(
+        "refinement improved {} of {} classes:",
+        wins.len(),
+        reg.len()
+    );
+    for (id, b, r) in wins.iter().take(15) {
+        println!(
+            "  class {id:>3} (rep {}): {b} -> {r} gates",
+            reg.representative(*id)
+        );
+    }
+    if wins.len() > 15 {
+        println!("  ... and {} more", wins.len() - 15);
+    }
+
+    // A few well-known functions.
+    println!("\nfamiliar functions:");
+    for (name, tt) in [
+        ("maj(a,b,c)", dacpara_npn::Tt4::from_raw(0xE8E8)),
+        ("a^b^c^d", dacpara_npn::Tt4::from_raw(0x6996)),
+        ("mux(a;b,c)", dacpara_npn::Tt4::from_raw(0xD8D8)),
+        ("and4", dacpara_npn::Tt4::from_raw(0x8000)),
+    ] {
+        let id = reg.class_of(tt);
+        println!(
+            "  {name:<12} class {id:>3}: best {} gates ({} structures)",
+            refined.min_size(id),
+            refined.structures(id).len()
+        );
+    }
+}

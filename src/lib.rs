@@ -1,0 +1,112 @@
+//! Shared helpers for the workspace's examples and integration tests.
+
+use dacpara_aig::{Aig, Lit};
+use dacpara_equiv::simulate_words;
+
+/// Exhaustively compares two graphs with at most six inputs by packing all
+/// `2^n` assignments into a single 64-bit simulation word.
+///
+/// # Panics
+///
+/// Panics if either graph has more than six inputs or the interfaces
+/// differ.
+pub fn exhaustively_equivalent(a: &Aig, b: &Aig) -> bool {
+    let n = a.num_inputs();
+    assert!(n <= 6, "exhaustive check limited to 6 inputs");
+    assert_eq!(n, b.num_inputs());
+    assert_eq!(a.num_outputs(), b.num_outputs());
+    let words = elementary_words(n);
+    let mask = if n == 6 { !0u64 } else { (1u64 << (1 << n)) - 1 };
+    let oa = simulate_words(a, &words);
+    let ob = simulate_words(b, &words);
+    oa.iter().zip(&ob).all(|(x, y)| (x ^ y) & mask == 0)
+}
+
+/// The elementary simulation words: input `k` toggles with period `2^(k+1)`.
+pub fn elementary_words(n: usize) -> Vec<u64> {
+    const ELEM: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    ELEM[..n].to_vec()
+}
+
+/// A deterministic pseudo-random combinational circuit described by a
+/// recipe of operations — used by the property tests to build the same
+/// function twice (as an oracle and as an [`Aig`]).
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// AND of two earlier signals (indices with complement flags).
+    And(usize, bool, usize, bool),
+    /// XOR of two earlier signals.
+    Xor(usize, bool, usize, bool),
+    /// MUX of three earlier signals.
+    Mux(usize, usize, usize),
+}
+
+/// Builds an AIG from a recipe over `n_inputs` inputs; the last `n_outputs`
+/// signals become outputs. Signal 0.. are the inputs, then one signal per
+/// op.
+pub fn build_from_recipe(n_inputs: usize, ops: &[Op], n_outputs: usize) -> Aig {
+    let mut aig = Aig::new();
+    let mut signals: Vec<Lit> = (0..n_inputs).map(|_| aig.add_input()).collect();
+    for op in ops {
+        let sig = |i: usize, c: bool, signals: &[Lit]| signals[i % signals.len()].xor(c);
+        let l = match *op {
+            Op::And(i, ci, j, cj) => {
+                let (a, b) = (sig(i, ci, &signals), sig(j, cj, &signals));
+                aig.add_and(a, b)
+            }
+            Op::Xor(i, ci, j, cj) => {
+                let (a, b) = (sig(i, ci, &signals), sig(j, cj, &signals));
+                aig.add_xor(a, b)
+            }
+            Op::Mux(s, t, e) => {
+                let (s, t, e) = (
+                    sig(s, false, &signals),
+                    sig(t, false, &signals),
+                    sig(e, true, &signals),
+                );
+                aig.add_mux(s, t, e)
+            }
+        };
+        signals.push(l);
+    }
+    for k in 0..n_outputs.max(1) {
+        let idx = signals.len() - 1 - (k % signals.len());
+        aig.add_output(signals[idx]);
+    }
+    aig
+}
+
+/// Evaluates the same recipe directly on bit-vectors (the oracle).
+pub fn eval_recipe(n_inputs: usize, ops: &[Op], n_outputs: usize, inputs: &[u64]) -> Vec<u64> {
+    assert_eq!(inputs.len(), n_inputs);
+    let mut signals: Vec<u64> = inputs.to_vec();
+    for op in ops {
+        let sig = |i: usize, c: bool, signals: &[u64]| {
+            let v = signals[i % signals.len()];
+            if c {
+                !v
+            } else {
+                v
+            }
+        };
+        let v = match *op {
+            Op::And(i, ci, j, cj) => sig(i, ci, &signals) & sig(j, cj, &signals),
+            Op::Xor(i, ci, j, cj) => sig(i, ci, &signals) ^ sig(j, cj, &signals),
+            Op::Mux(s, t, e) => {
+                let sv = sig(s, false, &signals);
+                sv & sig(t, false, &signals) | !sv & sig(e, true, &signals)
+            }
+        };
+        signals.push(v);
+    }
+    (0..n_outputs.max(1))
+        .map(|k| signals[signals.len() - 1 - (k % signals.len())])
+        .collect()
+}

@@ -1,0 +1,64 @@
+//! Robustness: the netlist parsers must reject malformed input with errors,
+//! never panic, on arbitrary byte soup or truncations of valid files.
+
+use dacpara_aig::{aiger, blif};
+use dacpara_circuits::arith;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII soup never panics the ASCII AIGER parser.
+    #[test]
+    fn aiger_parse_never_panics(s in "[ -~\\n]{0,200}") {
+        let _ = aiger::parse(&s);
+    }
+
+    /// Arbitrary bytes never panic the binary AIGER parser.
+    #[test]
+    fn binary_aiger_never_panics(prefix in "aig [0-9]{1,3} [0-9]{1,2} 0 [0-9]{1,2} [0-9]{1,3}\\n", tail in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut bytes = prefix.into_bytes();
+        bytes.extend(tail);
+        let _ = aiger::read_binary(&bytes[..]);
+    }
+
+    /// Arbitrary ASCII soup never panics the BLIF parser.
+    #[test]
+    fn blif_parse_never_panics(s in "[ -~\\n]{0,200}") {
+        let _ = blif::parse(&s);
+    }
+
+    /// Truncating a valid AIGER file at any point yields an error or a
+    /// smaller valid graph — never a panic.
+    #[test]
+    fn truncated_aiger_never_panics(cut_at in 0usize..2000) {
+        let aig = arith::adder(4);
+        let text = aiger::to_string(&aig);
+        let cut = cut_at.min(text.len());
+        let _ = aiger::parse(&text[..cut]);
+    }
+
+    /// Flipping one byte of a valid binary AIGER never panics.
+    #[test]
+    fn corrupted_binary_aiger_never_panics(pos in 0usize..500, val in any::<u8>()) {
+        let aig = arith::adder(4);
+        let mut buf = Vec::new();
+        aiger::write_binary(&aig, &mut buf).unwrap();
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let p = pos % buf.len();
+        buf[p] = val;
+        let _ = aiger::read_binary(&buf[..]);
+    }
+}
+
+#[test]
+fn helpful_errors_name_the_problem() {
+    let err = aiger::parse("aag 1 0 1 0 0\n").unwrap_err();
+    assert!(err.to_string().contains("latch"));
+    let err = blif::parse(".model m\n.latch a b\n.end").unwrap_err();
+    assert!(err.to_string().contains("latch"));
+    let err = aiger::parse("nonsense").unwrap_err();
+    assert!(err.to_string().contains("aag"));
+}

@@ -1,0 +1,151 @@
+//! Property tests spanning the cut, NPN and validity modules: every
+//! enumerated cut must be verifiable against the live graph, and NPN
+//! canonicalization must be orbit-invariant.
+
+use dacpara::validity::verify_cut;
+use dacpara_cut::{CutConfig, CutStore};
+use dacpara_npn::{canon, NpnTransform, Tt4};
+use dacpara_suite::{build_from_recipe, Op};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..64usize, any::<bool>(), 0..64usize, any::<bool>())
+            .prop_map(|(i, ci, j, cj)| Op::And(i, ci, j, cj)),
+        (0..64usize, any::<bool>(), 0..64usize, any::<bool>())
+            .prop_map(|(i, ci, j, cj)| Op::Xor(i, ci, j, cj)),
+        (0..64usize, 0..64usize, 0..64usize).prop_map(|(s, t, e)| Op::Mux(s, t, e)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every cut the enumerator produces is a real cut (the cover DFS
+    /// closes at the leaves), and both the enumerated truth table and the
+    /// structurally recomputed one agree with the circuit on every
+    /// *reachable* leaf assignment.
+    ///
+    /// Strict table equality would be too strong: when one child cut's
+    /// cover contains a node that is a leaf of the other child, the
+    /// composed table and the cover-recomputed table may legitimately
+    /// differ on unreachable minterms (satisfiability don't-cares of the
+    /// correlated leaves). Rewriting with either table is sound, because
+    /// replacements are only ever evaluated at reachable leaf values.
+    #[test]
+    fn enumerated_cuts_verify(
+        ops in prop::collection::vec(op_strategy(), 1..30),
+        limit in prop_oneof![Just(0usize), Just(4), Just(8)],
+    ) {
+        let aig = build_from_recipe(4, &ops, 2);
+        let cfg = if limit == 0 { CutConfig::unlimited() } else { CutConfig::limited(limit) };
+        let store = CutStore::new(aig.slot_count(), cfg);
+
+        // Exhaustive node values over all 16 input assignments, one bit per
+        // assignment, via the elementary tables.
+        let mut values: Vec<Tt4> = vec![Tt4::FALSE; aig.slot_count()];
+        for (k, &i) in dacpara_aig::AigRead::input_ids(&aig).iter().enumerate() {
+            values[i.index()] = Tt4::var(k);
+        }
+        for n in dacpara_aig::topo_ands(&aig) {
+            let [a, b] = dacpara_aig::AigRead::fanins(&aig, n);
+            let va = if a.is_complement() { !values[a.node().index()] } else { values[a.node().index()] };
+            let vb = if b.is_complement() { !values[b.node().index()] } else { values[b.node().index()] };
+            values[n.index()] = va & vb;
+        }
+
+        for n in dacpara_aig::topo_ands(&aig) {
+            let cuts = store.cuts(&aig, n);
+            for cut in cuts.iter() {
+                if cut.is_empty() {
+                    continue;
+                }
+                let (_, tt2) = verify_cut(&aig, n, cut.leaves())
+                    .expect("enumerated leaf set must be a cut");
+                // On every reachable input assignment, both tables must
+                // reproduce the node's actual value from the leaf values.
+                for m in 0..16usize {
+                    let mut leafm = 0usize;
+                    for (i, l) in cut.leaves().iter().enumerate() {
+                        leafm |= (values[l.index()].bit(m) as usize) << i;
+                    }
+                    let actual = values[n.index()].bit(m);
+                    prop_assert_eq!(
+                        cut.tt().bit(leafm), actual,
+                        "enumerated tt, cut {:?} of {:?}, input minterm {}",
+                        cut.leaves(), n, m
+                    );
+                    prop_assert_eq!(
+                        tt2.bit(leafm), actual,
+                        "recomputed tt, cut {:?} of {:?}, input minterm {}",
+                        cut.leaves(), n, m
+                    );
+                }
+            }
+        }
+    }
+
+    /// NPN canonicalization is constant on orbits and the reported
+    /// transform actually achieves the canonical form.
+    #[test]
+    fn npn_canon_orbit_invariant(raw in any::<u16>(), perm in 0..24u8, neg in 0..16u8, out in any::<bool>()) {
+        let f = Tt4::from_raw(raw);
+        let t = NpnTransform { perm, input_neg: neg, output_neg: out };
+        let g = t.apply(f);
+        let (cf, tf) = canon(f);
+        let (cg, _) = canon(g);
+        prop_assert_eq!(cf, cg);
+        prop_assert_eq!(tf.apply(f), cf);
+    }
+
+    /// The wiring of a transform inverts its application.
+    #[test]
+    fn npn_wiring_inverts(raw in any::<u16>(), perm in 0..24u8, neg in 0..16u8, out in any::<bool>()) {
+        let f = Tt4::from_raw(raw);
+        let t = NpnTransform { perm, input_neg: neg, output_neg: out };
+        let g = t.apply(f);
+        let (wiring, out_neg) = t.wire();
+        for m in 0..16usize {
+            let xs = [m & 1 != 0, m >> 1 & 1 != 0, m >> 2 & 1 != 0, m >> 3 & 1 != 0];
+            let ys: [bool; 4] = std::array::from_fn(|j| {
+                let (leaf, n) = wiring[j];
+                xs[leaf] ^ n
+            });
+            prop_assert_eq!(g.eval(ys) ^ out_neg, f.eval(xs));
+        }
+    }
+
+    /// Structure-library entries compute their representative under any
+    /// leaf functions (not just the elementary ones).
+    #[test]
+    fn structures_compose_on_arbitrary_leaves(
+        class_pick in any::<u16>(),
+        l0 in any::<u16>(), l1 in any::<u16>(), l2 in any::<u16>(), l3 in any::<u16>(),
+    ) {
+        let reg = dacpara_npn::ClassRegistry::global();
+        let lib = dacpara_nst::NpnLibrary::global();
+        let class = reg.class_of(Tt4::from_raw(class_pick));
+        let rep = reg.representative(class);
+        let leaves = [
+            Tt4::from_raw(l0), Tt4::from_raw(l1), Tt4::from_raw(l2), Tt4::from_raw(l3),
+        ];
+        for s in lib.structures(class).iter().take(3) {
+            // Composing rep with the leaf functions must equal simulating
+            // the structure over them.
+            let direct = s.simulate(leaves);
+            let mut composed = 0u16;
+            for m in 0..16u16 {
+                let assignment = [
+                    leaves[0].raw() >> m & 1 != 0,
+                    leaves[1].raw() >> m & 1 != 0,
+                    leaves[2].raw() >> m & 1 != 0,
+                    leaves[3].raw() >> m & 1 != 0,
+                ];
+                if rep.eval(assignment) {
+                    composed |= 1 << m;
+                }
+            }
+            prop_assert_eq!(direct, Tt4::from_raw(composed));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Property test: the CDCL solver agrees with brute-force enumeration on
+//! random small CNF formulas, both on satisfiability and on model validity.
+
+use dacpara_equiv::{CLit, SatResult, Solver};
+use proptest::prelude::*;
+
+type Clause = Vec<(u8, bool)>;
+
+fn clause_strategy(num_vars: u8) -> impl Strategy<Value = Clause> {
+    prop::collection::vec((0..num_vars, any::<bool>()), 1..4)
+}
+
+fn brute_force_sat(num_vars: u8, clauses: &[Clause]) -> bool {
+    for assignment in 0u32..1 << num_vars {
+        let ok = clauses.iter().all(|c| {
+            c.iter()
+                .any(|&(v, neg)| (assignment >> v & 1 == 1) != neg)
+        });
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solver_matches_brute_force(
+        num_vars in 1u8..10,
+        clauses in prop::collection::vec(clause_strategy(9), 1..40),
+    ) {
+        // Clamp variables into range.
+        let clauses: Vec<Clause> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().map(|(v, n)| (v % num_vars, n)).collect())
+            .collect();
+        let expect = brute_force_sat(num_vars, &clauses);
+
+        let mut solver = Solver::new();
+        for _ in 0..num_vars {
+            solver.new_var();
+        }
+        let mut consistent = true;
+        for c in &clauses {
+            let lits: Vec<CLit> = c.iter().map(|&(v, n)| CLit::new(v as u32, n)).collect();
+            if !solver.add_clause(&lits) {
+                consistent = false;
+                break;
+            }
+        }
+        let got = consistent && solver.solve() == SatResult::Sat;
+        prop_assert_eq!(got, expect);
+
+        if got {
+            // The model must satisfy every clause.
+            for c in &clauses {
+                prop_assert!(c.iter().any(|&(v, n)| {
+                    solver.value(v as u32).unwrap_or(false) != n
+                }), "model violates {:?}", c);
+            }
+        }
+    }
+}
