@@ -226,9 +226,11 @@ impl Aig {
 
     /// Iterator over the ids of all live AND nodes, in slot order.
     pub fn and_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().enumerate().filter_map(|(i, n)| {
-            (n.kind == NodeKind::And).then(|| NodeId::new(i as u32))
-        })
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|&(_i, n)| n.kind == NodeKind::And)
+            .map(|(i, _n)| NodeId::new(i as u32))
     }
 
     /// Replaces every use of node `old` by the literal `new` (complemented
@@ -252,7 +254,10 @@ impl Aig {
             matches!(self.kind(old), NodeKind::And | NodeKind::Input),
             "replace target {old:?} is not a live AND or input"
         );
-        assert!(self.is_alive(new.node()), "replacement literal {new:?} is dead");
+        assert!(
+            self.is_alive(new.node()),
+            "replacement literal {new:?} is dead"
+        );
         if new.node() == old {
             return;
         }

@@ -79,10 +79,7 @@ pub fn parse(text: &str) -> Result<Aig, AigError> {
 
     for k in 0..i {
         let line = lines.next().ok_or_else(|| bad("missing input line"))?;
-        let raw: u32 = line
-            .trim()
-            .parse()
-            .map_err(|_| bad("bad input literal"))?;
+        let raw: u32 = line.trim().parse().map_err(|_| bad("bad input literal"))?;
         if raw & 1 == 1 || raw == 0 {
             return Err(bad("input literal must be positive and even"));
         }
@@ -111,7 +108,9 @@ pub fn parse(text: &str) -> Result<Aig, AigError> {
         }
         let var = (lhs >> 1) as usize;
         if var > m || map[var].is_some() {
-            return Err(AigError::ParseAiger(format!("AND redefines variable {var}")));
+            return Err(AigError::ParseAiger(format!(
+                "AND redefines variable {var}"
+            )));
         }
         let r0 = toks.next().ok_or_else(|| bad("missing AND rhs0"))?;
         let r1 = toks.next().ok_or_else(|| bad("missing AND rhs1"))?;
@@ -224,7 +223,10 @@ pub fn write_binary<W: Write>(aig: &Aig, mut writer: W) -> Result<(), AigError> 
         if r0 < r1 {
             std::mem::swap(&mut r0, &mut r1);
         }
-        debug_assert!(lhs > r0 && r0 >= r1, "binary aiger needs lhs > rhs0 >= rhs1");
+        debug_assert!(
+            lhs > r0 && r0 >= r1,
+            "binary aiger needs lhs > rhs0 >= rhs1"
+        );
         write_delta(&mut writer, lhs - r0)?;
         write_delta(&mut writer, r0 - r1)?;
     }
@@ -290,10 +292,7 @@ pub fn read_binary<R: BufRead>(mut reader: R) -> Result<Aig, AigError> {
     for _ in 0..o {
         let mut line = String::new();
         reader.read_line(&mut line)?;
-        let raw: u32 = line
-            .trim()
-            .parse()
-            .map_err(|_| bad("bad output literal"))?;
+        let raw: u32 = line.trim().parse().map_err(|_| bad("bad output literal"))?;
         outputs_raw.push(raw);
     }
 
@@ -423,7 +422,11 @@ mod tests {
         let ascii = to_string(&aig).len();
         let mut bin = Vec::new();
         write_binary(&aig, &mut bin).unwrap();
-        assert!(bin.len() * 2 < ascii, "binary {} vs ascii {ascii}", bin.len());
+        assert!(
+            bin.len() * 2 < ascii,
+            "binary {} vs ascii {ascii}",
+            bin.len()
+        );
     }
 
     #[test]

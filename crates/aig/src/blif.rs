@@ -242,7 +242,11 @@ fn build_table(
     let bad = |msg: &str| AigError::ParseAiger(msg.to_string());
     match (ins.len(), cover.len()) {
         (0, 0) => Ok(Lit::FALSE),
-        (0, 1) => Ok(if cover[0].1 == '1' { Lit::TRUE } else { Lit::FALSE }),
+        (0, 1) => Ok(if cover[0].1 == '1' {
+            Lit::TRUE
+        } else {
+            Lit::FALSE
+        }),
         (1, 1) => {
             let (pattern, value) = &cover[0];
             let base = sig[&ins[0]];
@@ -270,7 +274,9 @@ fn build_table(
             let and = aig.add_and(lits[0], lits[1]);
             Ok(if *value == '1' { and } else { !and })
         }
-        _ => Err(bad("only single-cube tables of up to two inputs are supported")),
+        _ => Err(bad(
+            "only single-cube tables of up to two inputs are supported",
+        )),
     }
 }
 

@@ -129,14 +129,18 @@ impl ConcurrentAig {
         let mut shared = shared;
 
         // Slot 0: constant.
-        shared.nodes[0].kind.store(NodeKind::Const0.to_u8(), ORD_STORE);
+        shared.nodes[0]
+            .kind
+            .store(NodeKind::Const0.to_u8(), ORD_STORE);
         shared.next_fresh.store(1, Ordering::Relaxed);
 
         let mut map: Vec<Lit> = vec![Lit::FALSE; aig.slot_count()];
         for &inp in aig.inputs() {
             let slot = shared.next_fresh.fetch_add(1, Ordering::Relaxed);
             let id = NodeId::new(slot as u32);
-            shared.nodes[slot].kind.store(NodeKind::Input.to_u8(), ORD_STORE);
+            shared.nodes[slot]
+                .kind
+                .store(NodeKind::Input.to_u8(), ORD_STORE);
             shared.inputs.push(id);
             map[inp.index()] = id.lit();
         }
@@ -151,13 +155,13 @@ impl ConcurrentAig {
             node.kind.store(NodeKind::And.to_u8(), ORD_STORE);
             node.fanin0.store(ma.raw(), Ordering::Relaxed);
             node.fanin1.store(mb.raw(), Ordering::Relaxed);
-            let level = 1 + shared
-                .level(ma.node())
-                .max(shared.level(mb.node()));
+            let level = 1 + shared.level(ma.node()).max(shared.level(mb.node()));
             node.level.store(level, Ordering::Relaxed);
             for l in [ma, mb] {
                 shared.fanouts[l.node().index()].get_mut().push(id);
-                shared.nodes[l.node().index()].refs.fetch_add(1, Ordering::Relaxed);
+                shared.nodes[l.node().index()]
+                    .refs
+                    .fetch_add(1, Ordering::Relaxed);
             }
             shared.num_ands.fetch_add(1, Ordering::Relaxed);
             map[n.index()] = id.lit();
@@ -167,9 +171,10 @@ impl ConcurrentAig {
             for &po in aig.outputs() {
                 let l = map[po.node().index()].xor(po.is_complement());
                 outs.push(l);
-                shared.nodes[l.node().index()].refs.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .nodes[l.node().index()]
+                shared.nodes[l.node().index()]
+                    .refs
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.nodes[l.node().index()]
                     .po_refs
                     .fetch_add(1, Ordering::Relaxed);
             }
@@ -275,7 +280,9 @@ impl ConcurrentAig {
         node.kind.store(NodeKind::And.to_u8(), ORD_STORE);
         for l in [a, b] {
             self.fanouts[l.node().index()].write().push(id);
-            self.nodes[l.node().index()].refs.fetch_add(1, Ordering::AcqRel);
+            self.nodes[l.node().index()]
+                .refs
+                .fetch_add(1, Ordering::AcqRel);
         }
         self.num_ands.fetch_add(1, Ordering::AcqRel);
         Ok(id.lit())
@@ -298,12 +305,16 @@ impl ConcurrentAig {
             return;
         }
         // Pin `new` so cone deletion cannot reclaim it.
-        self.nodes[new.node().index()].refs.fetch_add(1, Ordering::AcqRel);
+        self.nodes[new.node().index()]
+            .refs
+            .fetch_add(1, Ordering::AcqRel);
         self.move_fanout_edges(old, new);
         if self.nodes[old.index()].refs.load(ORD_LOAD) == 0 {
             self.delete_cone(old);
         }
-        self.nodes[new.node().index()].refs.fetch_sub(1, Ordering::AcqRel);
+        self.nodes[new.node().index()]
+            .refs
+            .fetch_sub(1, Ordering::AcqRel);
     }
 
     fn move_fanout_edges(&self, o: NodeId, t: Lit) {
@@ -331,7 +342,9 @@ impl ConcurrentAig {
             node.fanin1.store(b.raw(), Ordering::Relaxed);
             node.gen.fetch_add(1, Ordering::AcqRel);
             self.fanouts[t.node().index()].write().push(f);
-            self.nodes[t.node().index()].refs.fetch_add(1, Ordering::AcqRel);
+            self.nodes[t.node().index()]
+                .refs
+                .fetch_add(1, Ordering::AcqRel);
             self.mark_pending(f);
         }
         if self.nodes[o.index()].po_refs.load(ORD_LOAD) > 0 {
@@ -345,9 +358,15 @@ impl ConcurrentAig {
             }
             drop(outs);
             if moved > 0 {
-                self.nodes[o.index()].refs.fetch_sub(moved, Ordering::AcqRel);
-                self.nodes[o.index()].po_refs.fetch_sub(moved, Ordering::AcqRel);
-                self.nodes[t.node().index()].refs.fetch_add(moved, Ordering::AcqRel);
+                self.nodes[o.index()]
+                    .refs
+                    .fetch_sub(moved, Ordering::AcqRel);
+                self.nodes[o.index()]
+                    .po_refs
+                    .fetch_sub(moved, Ordering::AcqRel);
+                self.nodes[t.node().index()]
+                    .refs
+                    .fetch_add(moved, Ordering::AcqRel);
                 self.nodes[t.node().index()]
                     .po_refs
                     .fetch_add(moved, Ordering::AcqRel);
@@ -419,11 +438,15 @@ impl ConcurrentAig {
                     self.find_and_excluding(a, b, f).map(NodeId::lit)
                 };
                 if let Some(t) = target {
-                    self.nodes[t.node().index()].refs.fetch_add(1, Ordering::AcqRel);
+                    self.nodes[t.node().index()]
+                        .refs
+                        .fetch_add(1, Ordering::AcqRel);
                     self.move_fanout_edges(f, t);
                     debug_assert_eq!(self.nodes[f.index()].refs.load(ORD_LOAD), 0);
                     self.delete_cone(f);
-                    self.nodes[t.node().index()].refs.fetch_sub(1, Ordering::AcqRel);
+                    self.nodes[t.node().index()]
+                        .refs
+                        .fetch_sub(1, Ordering::AcqRel);
                 }
             }
         }
@@ -483,13 +506,12 @@ impl ConcurrentAig {
         for po in self.output_lits() {
             refs[po.node().index()] += 1;
         }
-        for i in 0..self.capacity() {
+        for (i, &want) in refs.iter().enumerate() {
             let n = NodeId::new(i as u32);
-            if self.is_alive(n) && self.refs(n) != refs[i] {
+            if self.is_alive(n) && self.refs(n) != want {
                 return Err(AigError::InvariantViolation(format!(
-                    "{n:?}: stored refs {} recomputed {}",
+                    "{n:?}: stored refs {} recomputed {want}",
                     self.refs(n),
-                    refs[i]
                 )));
             }
         }
@@ -681,7 +703,11 @@ mod tests {
         let mut lit = ins[0].lit();
         let mut saw_exhaustion = false;
         for i in 0..200u32 {
-            let other = if i % 2 == 0 { ins[1].lit() } else { !ins[1].lit() };
+            let other = if i % 2 == 0 {
+                ins[1].lit()
+            } else {
+                !ins[1].lit()
+            };
             match shared.add_and_locked(lit, other) {
                 Ok(l) => lit = l,
                 Err(AigError::CapacityExhausted { .. }) => {

@@ -94,11 +94,7 @@ pub fn write_dot<W: Write>(aig: &Aig, mut writer: W) -> Result<(), AigError> {
     writeln!(writer, "digraph aig {{")?;
     writeln!(writer, "  rankdir=BT;")?;
     for (k, &i) in aig.inputs().iter().enumerate() {
-        writeln!(
-            writer,
-            "  n{} [label=\"pi{k}\", shape=triangle];",
-            i.raw()
-        )?;
+        writeln!(writer, "  n{} [label=\"pi{k}\", shape=triangle];", i.raw())?;
     }
     for n in crate::topo::topo_ands(aig) {
         writeln!(writer, "  n{} [label=\"&\", shape=circle];", n.raw())?;
@@ -108,7 +104,11 @@ pub fn write_dot<W: Write>(aig: &Aig, mut writer: W) -> Result<(), AigError> {
                 "  n{} -> n{}{};",
                 l.node().raw(),
                 n.raw(),
-                if l.is_complement() { " [style=dashed]" } else { "" }
+                if l.is_complement() {
+                    " [style=dashed]"
+                } else {
+                    ""
+                }
             )?;
         }
     }
@@ -118,7 +118,11 @@ pub fn write_dot<W: Write>(aig: &Aig, mut writer: W) -> Result<(), AigError> {
             writer,
             "  n{} -> po{k}{};",
             po.node().raw(),
-            if po.is_complement() { " [style=dashed]" } else { "" }
+            if po.is_complement() {
+                " [style=dashed]"
+            } else {
+                ""
+            }
         )?;
     }
     writeln!(writer, "}}")?;
@@ -179,7 +183,11 @@ impl std::fmt::Display for AigStats {
         write!(
             f,
             "{} PIs, {} POs, {} ANDs, depth {}, max fanout {} ({} high-fanout nodes)",
-            self.inputs, self.outputs, self.ands, self.depth, self.max_fanout,
+            self.inputs,
+            self.outputs,
+            self.ands,
+            self.depth,
+            self.max_fanout,
             self.high_fanout_nodes
         )
     }
@@ -208,7 +216,10 @@ mod tests {
         assert!(v.contains("input pi1;"));
         assert!(v.contains("output po0;"));
         assert!(v.contains("output po1;"));
-        assert_eq!(v.matches("assign").count(), aig.num_ands() + aig.num_outputs());
+        assert_eq!(
+            v.matches("assign").count(),
+            aig.num_ands() + aig.num_outputs()
+        );
         assert!(v.trim_end().ends_with("endmodule"));
     }
 

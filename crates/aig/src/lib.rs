@@ -34,12 +34,12 @@
 //! ```
 
 mod aig;
-mod check;
 pub mod aiger;
 pub mod blif;
+mod check;
 pub mod concurrent;
-pub mod export;
 mod error;
+pub mod export;
 mod lit;
 pub mod mffc;
 mod node;

@@ -4,9 +4,25 @@
 //! ```text
 //! rewrite [--engine abc|iccad18|dac22|tcad23|dacpara] [--threads N]
 //!         [--runs N] [--zeros] [--classes 134|222] [--check]
+//!         [--trace FILE.json] [--metrics FILE.jsonl]
 //!         [--in FILE.{aag,aig,blif}|--bench NAME[:scale]]
 //!         [--out FILE.{aag,aig,blif,v,dot}]
 //! ```
+//!
+//! Observability flags (see `docs/ARCHITECTURE.md`, "Observability"):
+//!
+//! * `--trace FILE.json` — record spans during the run and write a Chrome
+//!   trace-event file (open in `chrome://tracing` or
+//!   <https://ui.perfetto.dev>; one lane per worker thread showing
+//!   enumeration / evaluation / replacement activity).
+//! * `--metrics FILE.jsonl` — dump every counter and histogram (cut-memo
+//!   hits/misses, conflict/abort latency, lock hold times, MFFC sizes,
+//!   replacement gains) as one JSON object per line.
+//!
+//! Either flag enables recording for the whole run; without them the
+//! instrumentation costs one relaxed atomic load per site. All diagnostics
+//! go to stderr; stdout stays machine-parseable (reserved for `--out -`
+//! style piping in the future).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,11 +38,22 @@ struct Args {
     input: Input,
     output: Option<PathBuf>,
     check: bool,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 enum Input {
     File(PathBuf),
     Bench(String, Scale),
+}
+
+/// Parses a required numeric flag value, naming the flag and echoing the
+/// offending text on failure.
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a number"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag} needs a number, got `{value}`"))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
     let mut input = None;
     let mut output = None;
     let mut check = false;
+    let mut trace = None;
+    let mut metrics = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -49,22 +78,16 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--threads" => {
-                cfg.threads = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--threads needs a number")?;
+                cfg.threads = parse_num("--threads", it.next())?;
+                if cfg.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
             }
             "--runs" => {
-                cfg.runs = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--runs needs a number")?;
+                cfg.runs = parse_num("--runs", it.next())?;
             }
             "--classes" => {
-                cfg.num_classes = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--classes needs a number")?;
+                cfg.num_classes = parse_num("--classes", it.next())?;
             }
             "--zeros" => cfg.use_zeros = true,
             "--check" => check = true,
@@ -87,6 +110,12 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 output = Some(PathBuf::from(it.next().ok_or("--out needs a path")?));
             }
+            "--trace" => {
+                trace = Some(PathBuf::from(it.next().ok_or("--trace needs a path")?));
+            }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(it.next().ok_or("--metrics needs a path")?));
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -97,6 +126,8 @@ fn parse_args() -> Result<Args, String> {
         input,
         output,
         check,
+        trace,
+        metrics,
     })
 }
 
@@ -105,7 +136,9 @@ fn load(input: &Input) -> Result<Aig, String> {
         Input::File(path) => {
             let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
             match path.extension().and_then(|e| e.to_str()) {
-                Some("aig") => dacpara_aig::aiger::read_binary(&bytes[..]).map_err(|e| e.to_string()),
+                Some("aig") => {
+                    dacpara_aig::aiger::read_binary(&bytes[..]).map_err(|e| e.to_string())
+                }
                 Some("blif") => {
                     let text = String::from_utf8(bytes).map_err(|e| e.to_string())?;
                     dacpara_aig::blif::parse(&text).map_err(|e| e.to_string())
@@ -147,8 +180,9 @@ fn save(aig: &Aig, path: &std::path::Path) -> Result<(), String> {
             std::fs::write(path, dacpara_aig::export::verilog_to_string(aig, module))
                 .map_err(|e| e.to_string())
         }
-        Some("dot") => std::fs::write(path, dacpara_aig::export::dot_to_string(aig))
-            .map_err(|e| e.to_string()),
+        Some("dot") => {
+            std::fs::write(path, dacpara_aig::export::dot_to_string(aig)).map_err(|e| e.to_string())
+        }
         _ => std::fs::write(path, aiger::to_string(aig)).map_err(|e| e.to_string()),
     }
 }
@@ -161,6 +195,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: rewrite [--engine abc|iccad18|dac22|tcad23|dacpara] \
                  [--threads N] [--runs N] [--zeros] [--classes 134|222] [--check] \
+                 [--trace FILE.json] [--metrics FILE.jsonl] \
                  (--in FILE.aag | --bench NAME[:test|small|medium]) [--out FILE.aag]"
             );
             return ExitCode::FAILURE;
@@ -174,15 +209,37 @@ fn main() -> ExitCode {
         }
     };
     let golden = if args.check { Some(aig.clone()) } else { None };
+    let observing = args.trace.is_some() || args.metrics.is_some();
+    if observing {
+        dacpara_obs::reset();
+        dacpara_obs::enable();
+    }
     eprintln!("input:  {}", dacpara_aig::export::stats(&aig));
     match run_engine(&mut aig, args.engine, &args.cfg) {
-        Ok(stats) => eprintln!("{stats}"),
+        Ok(stats) => eprintln!("{}", stats.summary()),
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     }
     eprintln!("output: {}", dacpara_aig::export::stats(&aig));
+    if observing {
+        dacpara_obs::disable();
+        if let Some(path) = &args.trace {
+            if let Err(e) = dacpara_obs::export_chrome_trace(path) {
+                eprintln!("error writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("trace:  {}", path.display());
+        }
+        if let Some(path) = &args.metrics {
+            if let Err(e) = dacpara_obs::export_metrics_jsonl(path) {
+                eprintln!("error writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("metrics: {}", path.display());
+        }
+    }
     if let Some(golden) = golden {
         match check_equivalence(&golden, &aig, &CecConfig::default()) {
             CecResult::Equivalent => eprintln!("equivalence: proven"),

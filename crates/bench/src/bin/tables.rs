@@ -11,7 +11,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dacpara_bench::{ablations, engines, fig2, fig3, speedup, table1, table2, table3, Exhibit, Harness};
+use dacpara_bench::{
+    ablations, engines, fig2, fig3, speedup, table1, table2, table3, Exhibit, Harness,
+};
 use dacpara_circuits::Scale;
 
 struct Args {
@@ -33,7 +35,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "all" => {
                 which = [
-                    "table1", "table2", "table3", "fig2", "fig3", "speedup", "engines",
+                    "table1",
+                    "table2",
+                    "table3",
+                    "fig2",
+                    "fig3",
+                    "speedup",
+                    "engines",
                     "ablations",
                 ]
                 .map(String::from)

@@ -15,13 +15,13 @@
 
 use dacpara::{Engine, RewriteConfig};
 use dacpara_circuits::{arithmetic_suite, full_suite, mtm_suite, Benchmark};
-use serde::Serialize;
+use dacpara_obs::json::{Json, ToJson};
 
 use crate::report::{geomean, Table};
 use crate::runner::{BenchRun, Harness};
 
 /// A regenerated exhibit: the rendered table plus raw rows.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Exhibit {
     /// Identifier (`table2`, `fig2`, ...).
     pub id: String,
@@ -29,6 +29,16 @@ pub struct Exhibit {
     pub markdown: String,
     /// Raw measurements backing the exhibit.
     pub runs: Vec<BenchRun>,
+}
+
+impl ToJson for Exhibit {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("markdown", self.markdown.to_json()),
+            ("runs", self.runs.to_json()),
+        ])
+    }
 }
 
 fn fmt_s(x: f64) -> String {
@@ -73,9 +83,15 @@ pub fn table2(harness: &Harness) -> Exhibit {
         ),
         &[
             "Benchmark",
-            "ABC T(s)", "ABC AreaRed", "ABC Delay",
-            "ICCAD18 T(s)", "ICCAD18 AreaRed", "ICCAD18 Delay",
-            "DACPara T(s)", "DACPara AreaRed", "DACPara Delay",
+            "ABC T(s)",
+            "ABC AreaRed",
+            "ABC Delay",
+            "ICCAD18 T(s)",
+            "ICCAD18 AreaRed",
+            "ICCAD18 Delay",
+            "DACPara T(s)",
+            "DACPara AreaRed",
+            "DACPara Delay",
         ],
     );
 
@@ -88,9 +104,15 @@ pub fn table2(harness: &Harness) -> Exhibit {
         let dac = harness.run_one(b, Engine::DacPara, &par_cfg);
         t.push_row(vec![
             b.name.clone(),
-            fmt_s(abc.time_s), abc.area_reduction.to_string(), abc.delay.to_string(),
-            fmt_s(iccad.time_s), iccad.area_reduction.to_string(), iccad.delay.to_string(),
-            fmt_s(dac.time_s), dac.area_reduction.to_string(), dac.delay.to_string(),
+            fmt_s(abc.time_s),
+            abc.area_reduction.to_string(),
+            abc.delay.to_string(),
+            fmt_s(iccad.time_s),
+            iccad.area_reduction.to_string(),
+            iccad.delay.to_string(),
+            fmt_s(dac.time_s),
+            dac.area_reduction.to_string(),
+            dac.delay.to_string(),
         ]);
         for (i, other) in [&abc, &iccad].into_iter().enumerate() {
             ratios_time[i].push(other.time_s / dac.time_s.max(1e-9));
@@ -108,7 +130,9 @@ pub fn table2(harness: &Harness) -> Exhibit {
         format!("{:.4}", geomean(&ratios_time[1])),
         format!("{:.4}", geomean(&ratios_area[1])),
         format!("{:.4}", geomean(&ratios_delay[1])),
-        "1".into(), "1".into(), "1".into(),
+        "1".into(),
+        "1".into(),
+        "1".into(),
     ]);
 
     Exhibit {
@@ -215,10 +239,19 @@ pub fn table3(harness: &Harness) -> Exhibit {
 pub fn fig2(harness: &Harness) -> Exhibit {
     let suite = mtm_suite(harness.scale);
     let mut t = Table::new(
-        format!("Fig. 2: wasted work on conflicts (scale = {:?})", harness.scale),
+        format!(
+            "Fig. 2: wasted work on conflicts (scale = {:?})",
+            harness.scale
+        ),
         &[
-            "Benchmark", "Threads", "Engine", "Commits", "Aborts", "Conflicts",
-            "Wasted %", "T(s)",
+            "Benchmark",
+            "Threads",
+            "Engine",
+            "Commits",
+            "Aborts",
+            "Conflicts",
+            "Wasted %",
+            "T(s)",
         ],
     );
     let mut runs = Vec::new();
@@ -266,8 +299,12 @@ pub fn fig3(harness: &Harness) -> Exhibit {
             harness.scale
         ),
         &[
-            "Benchmark", "Replacements", "Revalidated", "Stale skipped",
-            "AreaRed", "Equivalent",
+            "Benchmark",
+            "Replacements",
+            "Revalidated",
+            "Stale skipped",
+            "AreaRed",
+            "Equivalent",
         ],
     );
     let mut runs = Vec::new();
@@ -297,7 +334,10 @@ pub fn speedup(harness: &Harness) -> Exhibit {
     let suite = mtm_suite(harness.scale);
     let bench = suite.last().expect("mtm suite non-empty");
     let mut t = Table::new(
-        format!("Speedup sweep on {} (scale = {:?})", bench.name, harness.scale),
+        format!(
+            "Speedup sweep on {} (scale = {:?})",
+            bench.name, harness.scale
+        ),
         &["Engine", "Threads", "T(s)", "Speedup vs 1T", "AreaRed"],
     );
     let mut runs = Vec::new();
@@ -336,7 +376,16 @@ pub fn engines(harness: &Harness) -> Exhibit {
             "All engines on the MtM set ({} threads, scale = {:?})",
             harness.threads, harness.scale
         ),
-        &["Benchmark", "Engine", "T(s)", "AreaRed", "Delay", "Repl", "Aborts", "Wasted %"],
+        &[
+            "Benchmark",
+            "Engine",
+            "T(s)",
+            "AreaRed",
+            "Delay",
+            "Repl",
+            "Aborts",
+            "Wasted %",
+        ],
     );
     let mut runs = Vec::new();
     for b in &suite {
@@ -382,19 +431,76 @@ pub fn ablations(harness: &Harness) -> Exhibit {
     let base = RewriteConfig::rewrite_op().with_threads(harness.threads);
     let variants: Vec<(&str, &Benchmark, RewriteConfig)> = vec![
         ("baseline (P2)", bench, base.clone()),
-        ("use_zeros", bench, RewriteConfig { use_zeros: true, ..base.clone() }),
-        ("cut_limit=8", bench, RewriteConfig { cut_limit: 8, ..base.clone() }),
-        ("structs=5", bench, RewriteConfig { max_structures: 5, ..base.clone() }),
-        ("no level partition", complex, RewriteConfig { level_partition: false, ..base.clone() }),
+        (
+            "use_zeros",
+            bench,
+            RewriteConfig {
+                use_zeros: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "cut_limit=8",
+            bench,
+            RewriteConfig {
+                cut_limit: 8,
+                ..base.clone()
+            },
+        ),
+        (
+            "structs=5",
+            bench,
+            RewriteConfig {
+                max_structures: 5,
+                ..base.clone()
+            },
+        ),
+        (
+            "no level partition",
+            complex,
+            RewriteConfig {
+                level_partition: false,
+                ..base.clone()
+            },
+        ),
         ("baseline (complex)", complex, base.clone()),
-        ("no revalidation", complex, RewriteConfig { revalidate: false, ..base.clone() }),
-        ("222 classes", bench, RewriteConfig { num_classes: 222, ..base.clone() }),
-        ("refined library", bench, RewriteConfig { refined_library: true, ..base.clone() }),
+        (
+            "no revalidation",
+            complex,
+            RewriteConfig {
+                revalidate: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "222 classes",
+            bench,
+            RewriteConfig {
+                num_classes: 222,
+                ..base.clone()
+            },
+        ),
+        (
+            "refined library",
+            bench,
+            RewriteConfig {
+                refined_library: true,
+                ..base.clone()
+            },
+        ),
     ];
 
     let mut t = Table::new(
         format!("Ablations (DACPara, {} threads)", harness.threads),
-        &["Variant", "Benchmark", "T(s)", "AreaRed", "Delay", "Stale", "Revalidated"],
+        &[
+            "Variant",
+            "Benchmark",
+            "T(s)",
+            "AreaRed",
+            "Delay",
+            "Stale",
+            "Revalidated",
+        ],
     );
     let mut runs = Vec::new();
     for (name, b, cfg) in variants {
@@ -437,7 +543,7 @@ mod tests {
         let e = table1(&tiny());
         assert!(e.markdown.contains("sixteen"));
         assert!(e.markdown.contains("mult_"));
-        assert_eq!(e.markdown.matches('\n').count() > 12, true);
+        assert!(e.markdown.matches('\n').count() > 12);
     }
 
     #[test]

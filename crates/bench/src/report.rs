@@ -3,10 +3,10 @@
 use std::io::Write;
 use std::path::Path;
 
-use serde::Serialize;
+use dacpara_obs::json::{Json, ToJson};
 
 /// A rendered table (markdown-ready).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table title, e.g. `Table 2: ...`.
     pub title: String,
@@ -53,17 +53,26 @@ impl Table {
     }
 }
 
-/// Writes a serializable value as pretty JSON under `dir/name.json`.
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", self.title.to_json()),
+            ("columns", self.columns.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+/// Writes a [`ToJson`] value as pretty JSON under `dir/name.json`.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+pub fn write_json<T: ToJson>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
     let mut f = std::fs::File::create(path)?;
-    let text = serde_json::to_string_pretty(value).expect("results serialize");
-    f.write_all(text.as_bytes())
+    f.write_all(value.to_json().to_pretty().as_bytes())
 }
 
 /// Writes markdown under `dir/name.md`.

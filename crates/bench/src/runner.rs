@@ -6,10 +6,10 @@ use dacpara::{run_engine, Engine, RewriteConfig};
 use dacpara_aig::{Aig, AigRead};
 use dacpara_circuits::{Benchmark, Scale};
 use dacpara_equiv::{check_equivalence, random_sim_check, CecConfig, CecResult, SimOutcome};
-use serde::Serialize;
+use dacpara_obs::json::{Json, ToJson};
 
 /// One engine × benchmark measurement.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BenchRun {
     /// Benchmark name.
     pub benchmark: String,
@@ -41,6 +41,28 @@ pub struct BenchRun {
     pub wasted_fraction: f64,
     /// Equivalence check verdict (`None` = skipped).
     pub equivalent: Option<bool>,
+}
+
+impl ToJson for BenchRun {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("benchmark", self.benchmark.to_json()),
+            ("engine", self.engine.to_json()),
+            ("time_s", self.time_s.to_json()),
+            ("area_before", self.area_before.to_json()),
+            ("area_after", self.area_after.to_json()),
+            ("area_reduction", self.area_reduction.to_json()),
+            ("delay", self.delay.to_json()),
+            ("delay_before", self.delay_before.to_json()),
+            ("replacements", self.replacements.to_json()),
+            ("stale_skipped", self.stale_skipped.to_json()),
+            ("revalidated", self.revalidated.to_json()),
+            ("conflicts", self.conflicts.to_json()),
+            ("aborts", self.aborts.to_json()),
+            ("wasted_fraction", self.wasted_fraction.to_json()),
+            ("equivalent", self.equivalent.to_json()),
+        ])
+    }
 }
 
 /// How the harness runs experiments.
@@ -82,6 +104,7 @@ impl Harness {
     /// check *disproves* equivalence — a rewriting bug must never be
     /// silently recorded as a data point.
     pub fn run_one(&self, bench: &Benchmark, engine: Engine, cfg: &RewriteConfig) -> BenchRun {
+        let _obs = dacpara_obs::span!("bench_run", benchmark = bench.name, engine = engine.name());
         let mut last_stats = None;
         let mut last_aig: Option<Aig> = None;
         let mut total = 0.0f64;

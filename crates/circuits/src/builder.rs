@@ -285,13 +285,7 @@ impl<'a> Builder<'a> {
             let k = 1usize << stage;
             let shifted = Word(
                 (0..cur.width())
-                    .map(|i| {
-                        if i >= k {
-                            cur.0[i - k]
-                        } else {
-                            Lit::FALSE
-                        }
-                    })
+                    .map(|i| if i >= k { cur.0[i - k] } else { Lit::FALSE })
                     .collect(),
             );
             cur = self.mux_word(sel, &shifted, &cur);

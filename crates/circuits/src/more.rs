@@ -203,7 +203,11 @@ mod tests {
         for x in [1u64, 2, 5, 128, 255] {
             let out = eval(&aig, x, 8);
             let exp = out & 0x7;
-            assert_eq!(exp, 63 - x.leading_zeros() as u64, "int2float({x}) exponent");
+            assert_eq!(
+                exp,
+                63 - x.leading_zeros() as u64,
+                "int2float({x}) exponent"
+            );
         }
     }
 

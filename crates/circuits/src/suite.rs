@@ -120,9 +120,17 @@ pub fn arithmetic_suite(scale: Scale) -> Vec<Benchmark> {
         ctrl_src,
         control::voter(scale.w(25, 101, 201)),
     );
-    push(named("square"), arith_src, arith::square(scale.w(6, 12, 18)));
+    push(
+        named("square"),
+        arith_src,
+        arith::square(scale.w(6, 12, 18)),
+    );
     push(named("sqrt"), arith_src, arith::sqrt(scale.w(5, 8, 12)));
-    push(named("mult"), arith_src, arith::multiplier(scale.w(6, 12, 18)));
+    push(
+        named("mult"),
+        arith_src,
+        arith::multiplier(scale.w(6, 12, 18)),
+    );
     push(
         named("log2"),
         arith_src,
@@ -131,9 +139,18 @@ pub fn arithmetic_suite(scale: Scale) -> Vec<Benchmark> {
     push(
         named("mem"),
         ctrl_src,
-        control::mem_ctrl(scale.w(3, 6, 10), scale.w(5, 7, 8), scale.w(4, 8, 12), 0xC0FFEE),
+        control::mem_ctrl(
+            scale.w(3, 6, 10),
+            scale.w(5, 7, 8),
+            scale.w(4, 8, 12),
+            0xC0FFEE,
+        ),
     );
-    push(named("hyp"), arith_src, arith::hypotenuse(scale.w(4, 7, 10)));
+    push(
+        named("hyp"),
+        arith_src,
+        arith::hypotenuse(scale.w(4, 7, 10)),
+    );
     push(named("div"), arith_src, arith::divider(scale.w(6, 10, 14)));
     out
 }
@@ -146,19 +163,23 @@ pub fn mtm_suite(scale: Scale) -> Vec<Benchmark> {
         Scale::Small => 4_000,
         Scale::Medium => 16_000,
     };
-    [("sixteen", 16usize, 117, 50), ("twenty", 20, 137, 60), ("twentythree", 23, 153, 68)]
-        .into_iter()
-        .map(|(name, factor, inputs, outputs)| Benchmark {
-            name: name.to_string(),
-            source: "MtM",
-            aig: mtm(&MtmParams {
-                inputs,
-                gates: unit * factor / 16,
-                outputs,
-                seed: factor as u64,
-            }),
-        })
-        .collect()
+    [
+        ("sixteen", 16usize, 117, 50),
+        ("twenty", 20, 137, 60),
+        ("twentythree", 23, 153, 68),
+    ]
+    .into_iter()
+    .map(|(name, factor, inputs, outputs)| Benchmark {
+        name: name.to_string(),
+        source: "MtM",
+        aig: mtm(&MtmParams {
+            inputs,
+            gates: unit * factor / 16,
+            outputs,
+            seed: factor as u64,
+        }),
+    })
+    .collect()
 }
 
 /// The full Table 1 suite: arithmetic + random/control + MtM.

@@ -29,9 +29,7 @@ use dacpara_galois::{chunk_size, run_spmd, LockTable, SpecStats, WorkQueue};
 use dacpara_npn::canon;
 use parking_lot::Mutex;
 
-use crate::eval::{
-    build_replacement, evaluate_node, reevaluate_structure, Candidate, EvalContext,
-};
+use crate::eval::{build_replacement, evaluate_node, reevaluate_structure, Candidate, EvalContext};
 use crate::lockstep::backoff;
 use crate::validity::{cut_cover, verify_cut};
 use crate::{RewriteConfig, RewriteStats};
@@ -64,6 +62,7 @@ struct Counters {
 /// ```
 pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStats, AigError> {
     let start = Instant::now();
+    let _pass_span = dacpara_obs::span!("rewrite_dacpara", threads = cfg.threads);
     let ctx = EvalContext::new(cfg);
     let mut stats = RewriteStats {
         engine: "dacpara".into(),
@@ -104,12 +103,10 @@ pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStat
 
         {
             let (shared, store, locks, prep, ctx, queue, error, spec, counters, stage_ns) = (
-                &shared, &store, &locks, &prep, &ctx, &queue, &error, &spec, &counters,
-                &stage_ns,
+                &shared, &store, &locks, &prep, &ctx, &queue, &error, &spec, &counters, &stage_ns,
             );
             let worklists = &worklists;
             let stage_start = &stage_start;
-            let cfg = &*cfg;
             run_spmd(cfg.threads, |w| {
                 let owner = w.id as u32 + 1;
                 let bail = || error.lock().is_some();
@@ -134,6 +131,7 @@ pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStat
                     // -------- Stage 1: parallel cut enumeration.
                     begin_stage(list.len());
                     if !bail() {
+                        let _obs = dacpara_obs::span("enumerate");
                         while let Some(range) = queue.next_chunk(chunk) {
                             for i in range {
                                 let n = list[i];
@@ -148,6 +146,7 @@ pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStat
                     // -------- Stage 2: parallel, lock-free evaluation.
                     begin_stage(list.len());
                     if !bail() {
+                        let _obs = dacpara_obs::span("evaluate");
                         while let Some(range) = queue.next_chunk(chunk) {
                             for i in range {
                                 let n = list[i];
@@ -166,6 +165,7 @@ pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStat
                     // -------- Stage 3: parallel validated replacement.
                     begin_stage(list.len());
                     if !bail() {
+                        let _obs = dacpara_obs::span("replace");
                         while let Some(range) = queue.next_chunk(chunk) {
                             if bail() {
                                 break;
@@ -176,7 +176,15 @@ pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStat
                                     continue;
                                 };
                                 if let Err(e) = replace_operator(
-                                    shared, store, locks, ctx, n, cand, owner, spec, counters,
+                                    shared,
+                                    store,
+                                    locks,
+                                    ctx,
+                                    n,
+                                    cand,
+                                    owner,
+                                    spec,
+                                    counters,
                                     cfg.revalidate,
                                 ) {
                                     *error.lock() = Some(e);
@@ -355,6 +363,9 @@ fn replace_operator(
         if root.node() != n {
             shared.replace_locked(n, root);
             counters.replacements.fetch_add(1, Ordering::Relaxed);
+            if dacpara_obs::is_enabled() {
+                dacpara_obs::histogram("rewrite.replacement_gain").record(re.gain.max(0) as u64);
+            }
         }
         spec.record_commit(attempt.elapsed());
         return Ok(());

@@ -7,15 +7,29 @@
 //! ([`dacpara_aig::mffc::simulate_deref`]).
 
 use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
 
-use dacpara_aig::{Aig, AigError, AigRead, Lit, NodeId};
 use dacpara_aig::concurrent::ConcurrentAig;
 use dacpara_aig::mffc::mffc_with_cut;
+use dacpara_aig::{Aig, AigError, AigRead, Lit, NodeId};
 use dacpara_cut::Cut;
 use dacpara_npn::{canon, ClassId, ClassRegistry, NpnTransform, Tt4};
 use dacpara_nst::{NpnLibrary, StructIn, Structure};
+use dacpara_obs::LogHistogram;
 
 use crate::RewriteConfig;
+
+/// Cached observability handles for the evaluation hot path.
+struct EvalObs {
+    mffc_size: Arc<LogHistogram>,
+}
+
+fn eval_obs() -> &'static EvalObs {
+    static HANDLES: OnceLock<EvalObs> = OnceLock::new();
+    HANDLES.get_or_init(|| EvalObs {
+        mffc_size: dacpara_obs::histogram("rewrite.mffc_size"),
+    })
+}
 
 /// Shared, read-only context for evaluation.
 #[derive(Clone)]
@@ -160,6 +174,9 @@ pub fn evaluate_cut<V: AigRead + ?Sized>(
         return None;
     }
     let freed = mffc_with_cut(view, n, leaves);
+    if dacpara_obs::is_enabled() {
+        eval_obs().mffc_size.record(freed.freed.len() as u64);
+    }
     let saved = freed.saved() as i32;
     let unavailable: HashSet<NodeId> = freed.freed.iter().copied().collect();
     let (rep, transform) = canon(tt);
@@ -295,7 +312,12 @@ fn map_structure<V: AigRead + ?Sized>(
         MVal::Real(l) => Some(l),
         MVal::Virt(..) => None,
     };
-    Mapping { added, root, level, shared }
+    Mapping {
+        added,
+        root,
+        level,
+        shared,
+    }
 }
 
 /// Re-evaluation of a *specific* stored structure on the latest graph —
@@ -337,8 +359,12 @@ pub fn reevaluate_structure<V: AigRead + ?Sized>(
         &unavailable,
         ctx.count_sharing,
     );
-    let identity = m.root.map_or(false, |r| r.node() == n);
-    let gain = if identity { i32::MIN } else { saved - m.added as i32 };
+    let identity = m.root.is_some_and(|r| r.node() == n);
+    let gain = if identity {
+        i32::MIN
+    } else {
+        saved - m.added as i32
+    };
     Reevaluation {
         gain,
         freed: freed.freed,

@@ -38,6 +38,7 @@ pub(crate) fn backoff(spins: &mut u32) {
 /// ([`RewriteConfig::headroom`]) proves insufficient.
 pub fn rewrite_lockstep(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStats, AigError> {
     let start = Instant::now();
+    let _pass_span = dacpara_obs::span!("rewrite_lockstep", threads = cfg.threads);
     let ctx = EvalContext::new(cfg);
     let mut stats = RewriteStats {
         engine: "iccad18".into(),
@@ -76,8 +77,7 @@ pub fn rewrite_lockstep(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteSta
                         return;
                     }
                     for i in range {
-                        match combined_operator(shared, store, locks, ctx, order[i], owner, spec)
-                        {
+                        match combined_operator(shared, store, locks, ctx, order[i], owner, spec) {
                             Ok(true) => {
                                 replacements.fetch_add(1, Ordering::Relaxed);
                             }
@@ -129,7 +129,10 @@ fn combined_operator(
         }
 
         // Stage A: cut enumeration (results verified under locks below).
-        let Some(cuts) = store.try_cuts(shared, n) else {
+        let enum_span = dacpara_obs::span("enumerate");
+        let cuts = store.try_cuts(shared, n);
+        drop(enum_span);
+        let Some(cuts) = cuts else {
             if !shared.is_and(n) {
                 return Ok(false);
             }
@@ -172,7 +175,10 @@ fn combined_operator(
             .collect();
 
         // Stage B: evaluation while holding every lock.
-        let Some(cand) = evaluate_node(shared, n, &valid_cuts, ctx) else {
+        let eval_span = dacpara_obs::span("evaluate");
+        let cand = evaluate_node(shared, n, &valid_cuts, ctx);
+        drop(eval_span);
+        let Some(cand) = cand else {
             spec.record_commit(attempt.elapsed());
             return Ok(false);
         };
@@ -206,6 +212,7 @@ fn combined_operator(
         };
 
         // Stage C: replacement.
+        let _obs = dacpara_obs::span("replace");
         for &f in &re.freed {
             store.invalidate(f);
         }

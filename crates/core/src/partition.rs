@@ -95,8 +95,7 @@ pub fn rewrite_partition(
                 regions.push(None);
                 continue;
             }
-            let in_region =
-                |n: NodeId| aig.kind(n) == NodeKind::And && part_of[n.index()] == p;
+            let in_region = |n: NodeId| aig.kind(n) == NodeKind::And && part_of[n.index()] == p;
             // Imports: fanins outside the region (PIs or foreign nodes).
             let mut imports: Vec<NodeId> = Vec::new();
             for &n in &nodes {
@@ -147,8 +146,7 @@ pub fn rewrite_partition(
             runs: 1,
             ..cfg.clone()
         };
-        let slots_vec: Vec<Mutex<Option<Region>>> =
-            regions.into_iter().map(Mutex::new).collect();
+        let slots_vec: Vec<Mutex<Option<Region>>> = regions.into_iter().map(Mutex::new).collect();
         let replacements = Mutex::new(0u64);
         {
             let (slots_ref, sub_cfg, replacements) = (&slots_vec, &sub_cfg, &replacements);
@@ -162,8 +160,7 @@ pub fn rewrite_partition(
             });
         }
         stats.replacements += *replacements.lock();
-        let regions: Vec<Option<Region>> =
-            slots_vec.into_iter().map(|m| m.into_inner()).collect();
+        let regions: Vec<Option<Region>> = slots_vec.into_iter().map(|m| m.into_inner()).collect();
 
         // ---- 4. Stitch: realize every exported signal in a fresh graph.
         let mut out = Aig::new();
@@ -326,7 +323,10 @@ mod tests {
         // the greedy engine visits in a different order and the areas can
         // differ by a few percent — but must stay in the same ballpark.
         let (a, b) = (partitioned.num_ands(), serial.num_ands());
-        assert!(a.abs_diff(b) * 8 <= b.max(1), "partitioned {a} vs serial {b}");
+        assert!(
+            a.abs_diff(b) * 8 <= b.max(1),
+            "partitioned {a} vs serial {b}"
+        );
         assert_equiv(&golden, &partitioned);
     }
 

@@ -78,6 +78,7 @@ pub fn run_engine(
     engine: Engine,
     cfg: &RewriteConfig,
 ) -> Result<RewriteStats, AigError> {
+    let _obs = dacpara_obs::span!("run_engine", engine = engine.name());
     match engine {
         Engine::AbcRewrite => Ok(rewrite_serial(aig, cfg)),
         Engine::Iccad18 => rewrite_lockstep(aig, cfg),
@@ -172,7 +173,10 @@ mod tests {
             ..RewriteConfig::rewrite_op()
         };
         let passes = optimize(&mut aig, Engine::AbcRewrite, &cfg, 6).unwrap();
-        assert!(passes.len() >= 2, "needs at least one improving + one fixpoint pass");
+        assert!(
+            passes.len() >= 2,
+            "needs at least one improving + one fixpoint pass"
+        );
         assert_eq!(passes.last().unwrap().area_reduction(), 0, "converged");
         assert_eq!(
             check_equivalence(&golden, &aig, &CecConfig::default()),
@@ -206,8 +210,7 @@ mod tests {
 
     #[test]
     fn engine_names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            Engine::ALL.iter().map(|e| e.name()).collect();
+        let names: std::collections::HashSet<_> = Engine::ALL.iter().map(|e| e.name()).collect();
         assert_eq!(names.len(), Engine::ALL.len());
     }
 }

@@ -32,6 +32,7 @@ use crate::{RewriteConfig, RewriteStats};
 /// ```
 pub fn rewrite_serial(aig: &mut Aig, cfg: &RewriteConfig) -> RewriteStats {
     let start = Instant::now();
+    let _pass_span = dacpara_obs::span("rewrite_serial");
     let ctx = EvalContext::new(cfg);
     let mut stats = RewriteStats {
         engine: "abc-rewrite".into(),
@@ -48,10 +49,18 @@ pub fn rewrite_serial(aig: &mut Aig, cfg: &RewriteConfig) -> RewriteStats {
                 continue; // deleted or dangling since the snapshot
             }
             store.grow(aig.slot_count());
-            let cuts = store.cuts(aig, n);
-            let Some(cand) = evaluate_node(aig, n, &cuts, &ctx) else {
+            let cuts = {
+                let _obs = dacpara_obs::span("enumerate");
+                store.cuts(aig, n)
+            };
+            let cand = {
+                let _obs = dacpara_obs::span("evaluate");
+                evaluate_node(aig, n, &cuts, &ctx)
+            };
+            let Some(cand) = cand else {
                 continue;
             };
+            let _obs = dacpara_obs::span("replace");
             // Invalidate enumeration results that the replacement makes
             // stale: the would-be-deleted cone and the transitive fanout.
             let freed = mffc_with_cut(aig, n, &cand.leaves);

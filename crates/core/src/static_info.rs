@@ -56,6 +56,7 @@ pub fn rewrite_static(
     mode: StaticMode,
 ) -> Result<RewriteStats, AigError> {
     let start = Instant::now();
+    let _pass_span = dacpara_obs::span!("rewrite_static", mode = mode);
     let mut ctx = EvalContext::new(cfg);
     ctx.count_sharing = mode == StaticMode::Conditional;
     let mut stats = RewriteStats {
@@ -84,7 +85,11 @@ pub fn rewrite_static(
                         if AigRead::refs(aig, n) == 0 {
                             continue;
                         }
-                        let cuts = store.cuts(aig, n);
+                        let cuts = {
+                            let _obs = dacpara_obs::span("enumerate");
+                            store.cuts(aig, n)
+                        };
+                        let _obs = dacpara_obs::span("evaluate");
                         *prep[n.index()].lock() = evaluate_node(aig, n, &cuts, ctx);
                     }
                 }
@@ -94,6 +99,7 @@ pub fn rewrite_static(
 
         // ---- Phase B: serial (conditional) replacement using static gains.
         let t_rep = Instant::now();
+        let _obs = dacpara_obs::span("replace");
         for n in order {
             let Some(cand) = prep[n.index()].lock().take() else {
                 continue;

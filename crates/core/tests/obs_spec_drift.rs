@@ -1,0 +1,88 @@
+//! Drift guard: the speculation totals reported by `RewriteStats` must
+//! agree exactly with what the obs layer recorded, because both are fed
+//! from the same leaf-level `SpecStats::record_*` calls (never `merge`).
+//! If an engine ever double-counts on merge, or an obs hook moves off the
+//! leaf path, this test fails.
+//!
+//! Lives in its own integration-test file (= its own process) because it
+//! drives the process-global registry; keep it to a single `#[test]`.
+
+use std::collections::HashSet;
+
+use dacpara::{run_engine, Engine, RewriteConfig};
+use dacpara_circuits::{mtm, MtmParams};
+
+/// Extracts the set of `tid` values of compact trace events named `name`.
+/// Event objects are compact and `args` is always the last key, so every
+/// `"},{"` boundary separates whole events.
+fn lanes_for(trace: &str, name: &str) -> HashSet<u64> {
+    let needle = format!("\"name\":\"{name}\"");
+    trace
+        .split("},{")
+        .filter(|chunk| chunk.contains(&needle))
+        .map(|chunk| {
+            let at = chunk.find("\"tid\":").expect("event has tid") + "\"tid\":".len();
+            chunk[at..]
+                .bytes()
+                .take_while(u8::is_ascii_digit)
+                .fold(0u64, |n, b| n * 10 + u64::from(b - b'0'))
+        })
+        .collect()
+}
+
+#[test]
+fn spec_stats_match_obs_events() {
+    dacpara_obs::reset();
+    dacpara_obs::enable();
+
+    let mut aig = mtm(&MtmParams {
+        inputs: 40,
+        gates: 4_000,
+        outputs: 16,
+        seed: 7,
+    });
+    let cfg = RewriteConfig::rewrite_op().with_threads(4);
+    let stats = run_engine(&mut aig, Engine::DacPara, &cfg).expect("dacpara run");
+    dacpara_obs::disable();
+
+    assert!(stats.replacements > 0, "the run must actually rewrite");
+    assert!(stats.spec.commits > 0, "the run must commit activities");
+
+    // 1. Aggregated RewriteStats vs. the obs sharded counters.
+    let counter = |name: &'static str| dacpara_obs::counter(name).value();
+    assert_eq!(stats.spec.conflicts, counter("galois.conflicts"));
+    assert_eq!(stats.spec.commits, counter("galois.commits"));
+    assert_eq!(stats.spec.aborts, counter("galois.aborts"));
+
+    // 2. ... vs. the per-thread instant events in the exported trace.
+    let trace = dacpara_obs::chrome_trace_to_string();
+    let instants = |name: &str| {
+        let needle = format!("\"name\":\"{name}\"");
+        trace.matches(&needle).count() as u64
+    };
+    assert_eq!(stats.spec.conflicts, instants("spec.conflict"));
+    assert_eq!(stats.spec.commits, instants("spec.commit"));
+    assert_eq!(stats.spec.aborts, instants("spec.abort"));
+
+    // 3. ... vs. the latency histograms (one sample per commit/abort).
+    let histo_count = |name: &str| {
+        dacpara_obs::global()
+            .histogram_snapshots()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, s)| s.count)
+    };
+    assert_eq!(stats.spec.commits, histo_count("galois.commit_latency_ns"));
+    assert_eq!(stats.spec.aborts, histo_count("galois.abort_latency_ns"));
+
+    // The three pipeline stages must show up on at least two worker lanes —
+    // i.e. the trace really exposes the parallel structure.
+    for stage in ["enumerate", "evaluate", "replace"] {
+        let lanes = lanes_for(&trace, stage);
+        assert!(
+            lanes.len() >= 2,
+            "{stage} on {} lane(s); expected parallel workers",
+            lanes.len()
+        );
+    }
+}

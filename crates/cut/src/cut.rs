@@ -180,8 +180,8 @@ impl Cut {
         let mut g = 0u16;
         for m in 0..16u16 {
             let mut child = 0u16;
-            for i in 0..self.len as usize {
-                child |= (m >> pos[i] & 1) << i;
+            for (i, &p) in pos.iter().take(self.len as usize).enumerate() {
+                child |= (m >> p & 1) << i;
             }
             if self.tt.raw() >> child & 1 != 0 {
                 g |= 1 << m;

@@ -11,12 +11,30 @@
 //! explicit invalidation was missed — the second line of defense behind the
 //! stored-cut validity protocol of §4.4.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use dacpara_aig::{AigRead, NodeId, NodeKind};
+use dacpara_obs::{LogHistogram, ShardedCounter};
 use parking_lot::RwLock;
 
 use crate::{and_cuts, leaf_cuts, CutConfig, CutSet};
+
+/// Cached handles to the global memo-probe instruments (taking the registry
+/// lock on every probe would defeat the sharded counters).
+struct ObsHandles {
+    memo_hits: Arc<ShardedCounter>,
+    memo_misses: Arc<ShardedCounter>,
+    cuts_per_node: Arc<LogHistogram>,
+}
+
+fn obs() -> &'static ObsHandles {
+    static HANDLES: OnceLock<ObsHandles> = OnceLock::new();
+    HANDLES.get_or_init(|| ObsHandles {
+        memo_hits: dacpara_obs::counter("cut.memo_hits"),
+        memo_misses: dacpara_obs::counter("cut.memo_misses"),
+        cuts_per_node: dacpara_obs::histogram("cut.cuts_per_node"),
+    })
+}
 
 type Slot = RwLock<Option<(u32, Arc<CutSet>)>>;
 
@@ -74,10 +92,18 @@ impl CutStore {
     /// current generation.
     pub fn get<V: AigRead + ?Sized>(&self, view: &V, n: NodeId) -> Option<Arc<CutSet>> {
         let guard = self.slots[n.index()].read();
-        match &*guard {
+        let found = match &*guard {
             Some((gen, cuts)) if *gen == view.generation(n) => Some(Arc::clone(cuts)),
             _ => None,
+        };
+        if dacpara_obs::is_enabled() {
+            if found.is_some() {
+                obs().memo_hits.incr();
+            } else {
+                obs().memo_misses.incr();
+            }
         }
+        found
     }
 
     /// Stores a cut set for `n` at its current generation.
@@ -126,6 +152,9 @@ impl CutStore {
                     match (ca, cb) {
                         (Some(ca), Some(cb)) => {
                             let cuts = and_cuts(view, top, &ca, &cb, &self.cfg);
+                            if dacpara_obs::is_enabled() {
+                                obs().cuts_per_node.record(cuts.len() as u64);
+                            }
                             self.put(view, top, Arc::new(cuts));
                             stack.pop();
                         }

@@ -74,18 +74,14 @@ pub fn assert_lit(solver: &mut Solver, map: &CnfMap, l: Lit) {
 pub fn model_inputs<V: AigRead + ?Sized>(view: &V, map: &CnfMap, solver: &Solver) -> Vec<bool> {
     view.input_ids()
         .iter()
-        .map(|&i| {
-            map.var(i)
-                .and_then(|v| solver.value(v))
-                .unwrap_or(false)
-        })
+        .map(|&i| map.var(i).and_then(|v| solver.value(v)).unwrap_or(false))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SatResult, simulate_bools};
+    use crate::{simulate_bools, SatResult};
     use dacpara_aig::Aig;
 
     #[test]
@@ -103,7 +99,10 @@ mod tests {
         assert_lit(&mut solver, &map, g);
         assert_eq!(solver.solve(), SatResult::Sat);
         let inputs = model_inputs(&aig, &map, &solver);
-        assert!(simulate_bools(&aig, &inputs)[0], "model must satisfy output");
+        assert!(
+            simulate_bools(&aig, &inputs)[0],
+            "model must satisfy output"
+        );
     }
 
     #[test]
@@ -129,7 +128,11 @@ mod tests {
         let m = aig.add_maj(a, b, c);
         aig.add_output(m);
         for pattern in 0..8u32 {
-            let inputs = [pattern & 1 != 0, pattern >> 1 & 1 != 0, pattern >> 2 & 1 != 0];
+            let inputs = [
+                pattern & 1 != 0,
+                pattern >> 1 & 1 != 0,
+                pattern >> 2 & 1 != 0,
+            ];
             let expect = simulate_bools(&aig, &inputs)[0];
             let mut solver = Solver::new();
             let map = CnfMap::encode(&aig, &mut solver);
@@ -137,7 +140,11 @@ mod tests {
                 solver.add_clause(&[CLit::new(map.var(i).unwrap(), !inputs[k])]);
             }
             assert_lit(&mut solver, &map, m);
-            let want = if expect { SatResult::Sat } else { SatResult::Unsat };
+            let want = if expect {
+                SatResult::Sat
+            } else {
+                SatResult::Unsat
+            };
             assert_eq!(solver.solve(), want, "pattern {pattern:03b}");
         }
     }

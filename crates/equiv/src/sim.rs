@@ -96,7 +96,13 @@ where
         let words: Vec<u64> = if round == 0 {
             // First round: include all-zeros / all-ones corner patterns.
             (0..n_in)
-                .map(|i| if i % 2 == 0 { 0x00000000FFFFFFFF } else { 0x0F0F0F0F0F0F0F0F })
+                .map(|i| {
+                    if i % 2 == 0 {
+                        0x00000000FFFFFFFF
+                    } else {
+                        0x0F0F0F0F0F0F0F0F
+                    }
+                })
                 .collect()
         } else {
             (0..n_in).map(|_| rng.gen()).collect()
@@ -108,10 +114,7 @@ where
             if diff != 0 {
                 let bit = diff.trailing_zeros();
                 let cex: Vec<bool> = words.iter().map(|w| w >> bit & 1 != 0).collect();
-                debug_assert_ne!(
-                    simulate_bools(a, &cex)[k],
-                    simulate_bools(b, &cex)[k]
-                );
+                debug_assert_ne!(simulate_bools(a, &cex)[k], simulate_bools(b, &cex)[k]);
                 return SimOutcome::Counterexample(cex);
             }
         }
@@ -151,7 +154,10 @@ mod tests {
         let or2 = b.add_or(!x2, !y2); // De Morgan NAND
         b.add_output(or2);
 
-        assert_eq!(random_sim_check(&a, &b, 8, 42), SimOutcome::NoDifferenceFound);
+        assert_eq!(
+            random_sim_check(&a, &b, 8, 42),
+            SimOutcome::NoDifferenceFound
+        );
     }
 
     #[test]

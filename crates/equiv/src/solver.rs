@@ -302,7 +302,11 @@ impl Solver {
     fn enqueue(&mut self, l: CLit, reason: Option<u32>) {
         debug_assert_eq!(self.lit_value(l), LBool::Undef);
         let v = l.var() as usize;
-        self.assign[v] = if l.is_neg() { LBool::False } else { LBool::True };
+        self.assign[v] = if l.is_neg() {
+            LBool::False
+        } else {
+            LBool::True
+        };
         self.level[v] = self.trail_lim.len() as u32;
         self.reason[v] = reason;
         self.phase[v] = !l.is_neg();
@@ -632,28 +636,29 @@ mod tests {
         assert_eq!(s.solve(), SatResult::Unsat);
     }
 
-    #[test]
-    fn pigeonhole_4_into_3_is_unsat() {
-        // Classic PHP(4,3): forces real conflict analysis and backjumping.
-        let (pigeons, holes) = (4, 3);
-        let mut s = Solver::new();
-        let mut var = vec![vec![0u32; holes]; pigeons];
-        for p in 0..pigeons {
-            for h in 0..holes {
-                var[p][h] = s.new_var();
-            }
-        }
-        for p in 0..pigeons {
-            let clause: Vec<CLit> = (0..holes).map(|h| lit(var[p][h], false)).collect();
+    /// Encodes PHP(pigeons, holes): every pigeon gets a hole, no sharing.
+    fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
+        let var: Vec<Vec<u32>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &var {
+            let clause: Vec<CLit> = row.iter().map(|&v| lit(v, false)).collect();
             s.add_clause(&clause);
         }
         for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in p1 + 1..pigeons {
-                    s.add_clause(&[lit(var[p1][h], true), lit(var[p2][h], true)]);
+            for (p1, row1) in var.iter().enumerate() {
+                for row2 in &var[p1 + 1..] {
+                    s.add_clause(&[lit(row1[h], true), lit(row2[h], true)]);
                 }
             }
         }
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_is_unsat() {
+        // Classic PHP(4,3): forces real conflict analysis and backjumping.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4, 3);
         assert_eq!(s.solve(), SatResult::Unsat);
     }
 
@@ -694,29 +699,12 @@ mod tests {
 
     #[test]
     fn statistics_accumulate() {
-        let (pigeons, holes) = (4, 3);
         let mut s = Solver::new();
-        let mut var = vec![vec![0u32; holes]; pigeons];
-        for p in 0..pigeons {
-            for h in 0..holes {
-                var[p][h] = s.new_var();
-            }
-        }
-        for p in 0..pigeons {
-            let clause: Vec<CLit> = (0..holes).map(|h| lit(var[p][h], false)).collect();
-            s.add_clause(&clause);
-        }
-        for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in p1 + 1..pigeons {
-                    s.add_clause(&[lit(var[p1][h], true), lit(var[p2][h], true)]);
-                }
-            }
-        }
+        pigeonhole(&mut s, 4, 3);
         assert_eq!(s.solve(), SatResult::Unsat);
         assert!(s.num_conflicts() > 0);
         assert!(s.num_decisions() > 0);
-        assert!(s.num_clauses() > pigeons + holes, "learned clauses were kept");
+        assert!(s.num_clauses() > 4 + 3, "learned clauses were kept");
     }
 
     #[test]
@@ -735,25 +723,8 @@ mod tests {
     #[test]
     fn budget_exhaustion_returns_none() {
         // PHP(6,5) with a conflict budget of 1 cannot finish.
-        let (pigeons, holes) = (6, 5);
         let mut s = Solver::new();
-        let mut var = vec![vec![0u32; holes]; pigeons];
-        for p in 0..pigeons {
-            for h in 0..holes {
-                var[p][h] = s.new_var();
-            }
-        }
-        for p in 0..pigeons {
-            let clause: Vec<CLit> = (0..holes).map(|h| lit(var[p][h], false)).collect();
-            s.add_clause(&clause);
-        }
-        for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in p1 + 1..pigeons {
-                    s.add_clause(&[lit(var[p1][h], true), lit(var[p2][h], true)]);
-                }
-            }
-        }
+        pigeonhole(&mut s, 6, 5);
         assert_eq!(s.solve_limited(1), None);
     }
 }

@@ -7,8 +7,16 @@
 //! work the paper's Fig. 2 is about).
 
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use dacpara_obs::LogHistogram;
 
 use crate::stats::SpecStats;
+
+fn hold_time_histogram() -> &'static Arc<LogHistogram> {
+    static H: OnceLock<Arc<LogHistogram>> = OnceLock::new();
+    H.get_or_init(|| dacpara_obs::histogram("galois.lock_hold_ns"))
+}
 
 /// A table of exclusive try-locks, one per graph element.
 ///
@@ -89,6 +97,7 @@ impl LockTable {
             table: self,
             owner,
             ids,
+            acquired_ns: dacpara_obs::is_enabled().then(|| dacpara_obs::global().now_ns()),
         })
     }
 
@@ -119,6 +128,9 @@ pub struct LockSet<'a> {
     table: &'a LockTable,
     owner: u32,
     ids: Vec<u32>,
+    /// Acquisition timestamp, recorded only while observability is enabled;
+    /// feeds the `galois.lock_hold_ns` histogram on release.
+    acquired_ns: Option<u64>,
 }
 
 impl LockSet<'_> {
@@ -131,6 +143,10 @@ impl LockSet<'_> {
 impl Drop for LockSet<'_> {
     fn drop(&mut self) {
         self.table.release(&self.ids, self.owner);
+        if let Some(start) = self.acquired_ns {
+            let held = dacpara_obs::global().now_ns().saturating_sub(start);
+            hold_time_histogram().record(held);
+        }
     }
 }
 

@@ -62,6 +62,7 @@ where
     let barrier = Barrier::new(num_threads);
     if num_threads == 1 {
         // Fast path, also keeps single-threaded debugging simple.
+        let _obs = dacpara_obs::span_cat("worker", "runtime");
         f(&Worker {
             id: 0,
             num_threads: 1,
@@ -74,6 +75,10 @@ where
             let barrier = &barrier;
             let f = &f;
             s.spawn(move || {
+                // One lifetime span per worker: each thread gets its own
+                // lane in the exported trace, and the thread-local span
+                // buffer flushes when the scoped thread exits.
+                let _obs = dacpara_obs::span!("worker", id = id);
                 f(&Worker {
                     id,
                     num_threads,

@@ -7,7 +7,32 @@
 //! difference measurable.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+use dacpara_obs::{LogHistogram, ShardedCounter};
+
+/// Cached handles to the global observability instruments, so the record
+/// paths never take the registry lock. The `Arc`s survive
+/// `dacpara_obs::reset()` (reset zeroes values in place).
+struct ObsHandles {
+    conflicts: Arc<ShardedCounter>,
+    commits: Arc<ShardedCounter>,
+    aborts: Arc<ShardedCounter>,
+    commit_latency_ns: Arc<LogHistogram>,
+    abort_latency_ns: Arc<LogHistogram>,
+}
+
+fn obs() -> &'static ObsHandles {
+    static HANDLES: OnceLock<ObsHandles> = OnceLock::new();
+    HANDLES.get_or_init(|| ObsHandles {
+        conflicts: dacpara_obs::counter("galois.conflicts"),
+        commits: dacpara_obs::counter("galois.commits"),
+        aborts: dacpara_obs::counter("galois.aborts"),
+        commit_latency_ns: dacpara_obs::histogram("galois.commit_latency_ns"),
+        abort_latency_ns: dacpara_obs::histogram("galois.abort_latency_ns"),
+    })
+}
 
 /// Atomic counters describing a speculative execution run.
 #[derive(Debug, Default)]
@@ -26,8 +51,18 @@ impl SpecStats {
     }
 
     /// Records a lock-acquisition conflict.
+    ///
+    /// The observability events below are emitted *only* here (and in the
+    /// other `record_*` methods), never in [`SpecStats::merge`], so the
+    /// global obs counters always equal the sum of leaf-level recordings —
+    /// the drift test in `crates/core/tests/obs_spec_drift.rs` relies on
+    /// this.
     pub fn record_conflict(&self) {
         self.conflicts.fetch_add(1, Ordering::Relaxed);
+        if dacpara_obs::is_enabled() {
+            obs().conflicts.incr();
+            dacpara_obs::instant("spec.conflict", "spec");
+        }
     }
 
     /// Records a committed activity and the time it took.
@@ -35,6 +70,11 @@ impl SpecStats {
         self.commits.fetch_add(1, Ordering::Relaxed);
         self.useful_ns
             .fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+        if dacpara_obs::is_enabled() {
+            obs().commits.incr();
+            obs().commit_latency_ns.record(took.as_nanos() as u64);
+            dacpara_obs::instant("spec.commit", "spec");
+        }
     }
 
     /// Records an aborted activity whose computation of `took` was lost.
@@ -42,6 +82,11 @@ impl SpecStats {
         self.aborts.fetch_add(1, Ordering::Relaxed);
         self.wasted_ns
             .fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+        if dacpara_obs::is_enabled() {
+            obs().aborts.incr();
+            obs().abort_latency_ns.record(took.as_nanos() as u64);
+            dacpara_obs::instant("spec.abort", "spec");
+        }
     }
 
     /// Number of lock conflicts observed.
@@ -82,6 +127,10 @@ impl SpecStats {
     }
 
     /// Adds another set of counters into this one.
+    ///
+    /// Deliberately emits no observability events: each event was already
+    /// recorded once by the leaf-level `record_*` call, and re-emitting on
+    /// merge would double-count.
     pub fn merge(&self, other: &SpecStats) {
         self.conflicts
             .fetch_add(other.conflicts(), Ordering::Relaxed);

@@ -4,10 +4,30 @@ use crate::Tt4;
 
 /// All 24 permutations of four elements, in lexicographic order.
 pub const PERMS: [[u8; 4]; 24] = [
-    [0, 1, 2, 3], [0, 1, 3, 2], [0, 2, 1, 3], [0, 2, 3, 1], [0, 3, 1, 2], [0, 3, 2, 1],
-    [1, 0, 2, 3], [1, 0, 3, 2], [1, 2, 0, 3], [1, 2, 3, 0], [1, 3, 0, 2], [1, 3, 2, 0],
-    [2, 0, 1, 3], [2, 0, 3, 1], [2, 1, 0, 3], [2, 1, 3, 0], [2, 3, 0, 1], [2, 3, 1, 0],
-    [3, 0, 1, 2], [3, 0, 2, 1], [3, 1, 0, 2], [3, 1, 2, 0], [3, 2, 0, 1], [3, 2, 1, 0],
+    [0, 1, 2, 3],
+    [0, 1, 3, 2],
+    [0, 2, 1, 3],
+    [0, 2, 3, 1],
+    [0, 3, 1, 2],
+    [0, 3, 2, 1],
+    [1, 0, 2, 3],
+    [1, 0, 3, 2],
+    [1, 2, 0, 3],
+    [1, 2, 3, 0],
+    [1, 3, 0, 2],
+    [1, 3, 2, 0],
+    [2, 0, 1, 3],
+    [2, 0, 3, 1],
+    [2, 1, 0, 3],
+    [2, 1, 3, 0],
+    [2, 3, 0, 1],
+    [2, 3, 1, 0],
+    [3, 0, 1, 2],
+    [3, 0, 2, 1],
+    [3, 1, 0, 2],
+    [3, 1, 2, 0],
+    [3, 2, 0, 1],
+    [3, 2, 1, 0],
 ];
 
 /// One of the 768 NPN transforms of a 4-input function.
@@ -44,11 +64,13 @@ impl NpnTransform {
     pub fn all() -> impl Iterator<Item = NpnTransform> {
         (0..24u8).flat_map(|perm| {
             (0..16u8).flat_map(move |input_neg| {
-                [false, true].into_iter().map(move |output_neg| NpnTransform {
-                    perm,
-                    input_neg,
-                    output_neg,
-                })
+                [false, true]
+                    .into_iter()
+                    .map(move |output_neg| NpnTransform {
+                        perm,
+                        input_neg,
+                        output_neg,
+                    })
             })
         })
     }
@@ -59,8 +81,8 @@ impl NpnTransform {
         let mut g = 0u16;
         for a in 0..16u16 {
             let mut b = 0u16;
-            for i in 0..4 {
-                let y = a >> perm[i] & 1;
+            for (i, &p) in perm.iter().enumerate() {
+                let y = a >> p & 1;
                 b |= (y ^ (self.input_neg >> i & 1) as u16) << i;
             }
             if f.raw() >> b & 1 != 0 {
@@ -140,7 +162,12 @@ mod tests {
             let g = t.apply(f);
             let (wiring, out_neg) = t.wire();
             for m in 0..16usize {
-                let xs = [m & 1 != 0, m >> 1 & 1 != 0, m >> 2 & 1 != 0, m >> 3 & 1 != 0];
+                let xs = [
+                    m & 1 != 0,
+                    m >> 1 & 1 != 0,
+                    m >> 2 & 1 != 0,
+                    m >> 3 & 1 != 0,
+                ];
                 let ys: [bool; 4] = std::array::from_fn(|j| {
                     let (leaf, neg) = wiring[j];
                     xs[leaf] ^ neg

@@ -55,8 +55,8 @@ impl Tt4 {
     /// Evaluates the function on an assignment.
     #[inline]
     pub fn eval(self, xs: [bool; 4]) -> bool {
-        let m = xs[0] as usize | (xs[1] as usize) << 1 | (xs[2] as usize) << 2
-            | (xs[3] as usize) << 3;
+        let m =
+            xs[0] as usize | (xs[1] as usize) << 1 | (xs[2] as usize) << 2 | (xs[3] as usize) << 3;
         self.0 >> m & 1 != 0
     }
 

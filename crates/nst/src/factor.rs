@@ -86,7 +86,7 @@ fn quick_factor(forest: &mut Forest, cubes: &[Cube]) -> FLit {
         for neg in [false, true] {
             let lit = (k, neg);
             let count = cubes.iter().filter(|c| cube_contains(c, lit)).count();
-            if count >= 2 && best.map_or(true, |(_, bc)| count > bc) {
+            if count >= 2 && best.is_none_or(|(_, bc)| count > bc) {
                 best = Some((lit, count));
             }
         }
@@ -168,7 +168,11 @@ mod tests {
         let maj = Tt4::from_raw(0xE8E8);
         let root = factor_build(&mut forest, maj);
         assert_eq!(forest.tt(root), maj);
-        assert!(forest.cone_size(root) <= 4, "got {}", forest.cone_size(root));
+        assert!(
+            forest.cone_size(root) <= 4,
+            "got {}",
+            forest.cone_size(root)
+        );
     }
 
     #[test]
@@ -185,7 +189,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins > 20, "factoring should often beat flat ISOP, won {wins}");
+        assert!(
+            wins > 20,
+            "factoring should often beat flat ISOP, won {wins}"
+        );
     }
 
     #[test]

@@ -139,7 +139,11 @@ mod tests {
                     .filter(|(i, _)| *i != skip)
                     .map(|(_, c)| *c)
                     .collect();
-                assert_ne!(cover_tt(&without), f, "cube {skip} of 0x{raw:04x} redundant");
+                assert_ne!(
+                    cover_tt(&without),
+                    f,
+                    "cube {skip} of 0x{raw:04x} redundant"
+                );
             }
         }
     }

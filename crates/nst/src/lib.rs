@@ -36,8 +36,8 @@ mod refine;
 mod shannon;
 
 pub use factor::factor_build;
-pub use refine::{refine, seed_from_forest, BestTable, RefineParams};
 pub use forest::{FLit, Forest};
 pub use isop::{isop, Cube};
 pub use library::{NpnLibrary, StructIn, Structure};
+pub use refine::{refine, seed_from_forest, BestTable, RefineParams};
 pub use shannon::{isop_build, shannon, shannon_split, synthesize_candidates, BuildMemo};

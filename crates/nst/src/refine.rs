@@ -190,7 +190,10 @@ mod tests {
         );
         for (&tt, &cost) in &before {
             let after = forest.cone_size(table.get(Tt4::from_raw(tt)).unwrap());
-            assert!(after <= cost, "function 0x{tt:04x} got worse: {cost} -> {after}");
+            assert!(
+                after <= cost,
+                "function 0x{tt:04x} got worse: {cost} -> {after}"
+            );
         }
     }
 
@@ -223,7 +226,10 @@ mod tests {
                 ..RefineParams::default()
             },
         );
-        assert!(improved > 0, "enumeration should beat pure decomposition somewhere");
+        assert!(
+            improved > 0,
+            "enumeration should beat pure decomposition somewhere"
+        );
     }
 
     #[test]

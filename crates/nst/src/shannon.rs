@@ -41,7 +41,9 @@ pub fn shannon(forest: &mut Forest, f: Tt4, memo: &mut BuildMemo) -> FLit {
     if let Some(&hit) = memo.get(&f.raw()) {
         return hit;
     }
-    let k = (0..4).find(|&k| f.depends_on(k)).expect("non-leaf depends somewhere");
+    let k = (0..4)
+        .find(|&k| f.depends_on(k))
+        .expect("non-leaf depends somewhere");
     let lit = shannon_split(forest, f, k, memo);
     memo.insert(f.raw(), lit);
     lit

@@ -1,0 +1,109 @@
+//! Exporters: Chrome trace-event JSON and JSONL metrics dumps.
+
+use std::io;
+use std::path::Path;
+
+use crate::json::Json;
+use crate::registry::global;
+
+/// Renders every recorded span as a Chrome trace-event JSON document.
+///
+/// The result loads in `chrome://tracing` or <https://ui.perfetto.dev>:
+/// one lane (`tid`) per worker thread, complete (`"X"`) events for spans
+/// and instant (`"i"`) events for point occurrences. Timestamps are in
+/// microseconds as the format requires; sub-microsecond precision is
+/// carried in the fractional part.
+///
+/// The calling thread's pending buffer is flushed first; worker threads
+/// flush when they exit (engines run workers in scoped threads, so their
+/// spans are always visible by the time the engine returns).
+pub fn chrome_trace_to_string() -> String {
+    crate::span::flush_thread();
+    let mut events = Vec::new();
+    for log in global().thread_logs() {
+        let tid = log.tid();
+        for e in log.events() {
+            let mut fields = vec![
+                ("name".to_string(), Json::Str(e.name.to_string())),
+                ("cat".to_string(), Json::Str(e.cat.to_string())),
+                ("ph".to_string(), Json::Str(e.phase.to_string())),
+                ("pid".to_string(), Json::Int(1)),
+                ("tid".to_string(), Json::Int(i64::from(tid))),
+                ("ts".to_string(), Json::Num(e.ts_ns as f64 / 1_000.0)),
+            ];
+            if e.phase == 'X' {
+                fields.push(("dur".to_string(), Json::Num(e.dur_ns as f64 / 1_000.0)));
+            }
+            if !e.args.is_empty() {
+                fields.push((
+                    "args".to_string(),
+                    Json::Obj(
+                        e.args
+                            .iter()
+                            .map(|(k, v)| ((*k).to_string(), Json::Str(v.clone())))
+                            .collect(),
+                    ),
+                ));
+            }
+            events.push(Json::Obj(fields));
+        }
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".to_string())),
+    ])
+    .to_compact()
+}
+
+/// Writes [`chrome_trace_to_string`] to `path`.
+pub fn export_chrome_trace(path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_to_string())
+}
+
+/// Renders every registered counter and histogram as JSONL: one JSON
+/// object per line, `{"type":"counter",...}` or `{"type":"histogram",...}`.
+pub fn metrics_to_jsonl() -> String {
+    let mut out = String::new();
+    for (name, value) in global().counter_values() {
+        out.push_str(
+            &Json::obj([
+                ("type", Json::Str("counter".to_string())),
+                ("name", Json::Str(name.to_string())),
+                ("value", value_json(value)),
+            ])
+            .to_compact(),
+        );
+        out.push('\n');
+    }
+    for (name, s) in global().histogram_snapshots() {
+        out.push_str(
+            &Json::obj([
+                ("type", Json::Str("histogram".to_string())),
+                ("name", Json::Str(name.to_string())),
+                ("count", value_json(s.count)),
+                ("sum", value_json(s.sum)),
+                ("max", value_json(s.max)),
+                ("mean", Json::Num(s.mean)),
+                ("p50", value_json(s.p50)),
+                ("p90", value_json(s.p90)),
+                ("p99", value_json(s.p99)),
+                (
+                    "buckets",
+                    Json::Arr(s.buckets.iter().map(|&b| value_json(b)).collect()),
+                ),
+            ])
+            .to_compact(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`metrics_to_jsonl`] to `path`.
+pub fn export_metrics_jsonl(path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, metrics_to_jsonl())
+}
+
+fn value_json(v: u64) -> Json {
+    i64::try_from(v).map_or(Json::Num(v as f64), Json::Int)
+}

@@ -1,0 +1,241 @@
+//! Log2-bucketed histograms for latency / size distributions.
+//!
+//! Values land in bucket `floor(log2(v)) + 1` (bucket 0 holds zeros), so 65
+//! atomic buckets cover the whole `u64` domain with ≤ 2× relative error on
+//! any percentile — plenty for "did conflict-abort latency double?"
+//! questions, at the cost of one `fetch_add` per record.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 65;
+
+/// A concurrent histogram over `u64` values with power-of-two buckets.
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Upper bound (inclusive) of values mapping to `bucket`.
+fn bucket_upper(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded observation (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded observations (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0 ≤ q ≤ 1`): the inclusive
+    /// upper edge of the first bucket whose cumulative count reaches
+    /// `q · count`. Exact to within the 2× bucket width; `0` when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Resets all buckets and aggregates to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A plain-value copy for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.value_at_quantile(0.50),
+            p90: self.value_at_quantile(0.90),
+            p99: self.value_at_quantile(0.99),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .field("p50", &self.value_at_quantile(0.5))
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a [`LogHistogram`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+    /// Raw per-bucket counts (65 log2 buckets).
+    pub buckets: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let h = LogHistogram::new();
+        // 100 observations: 50× value 8, 40× value 100, 10× value 10_000.
+        for _ in 0..50 {
+            h.record(8);
+        }
+        for _ in 0..40 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 50 * 8 + 40 * 100 + 10 * 10_000);
+        assert_eq!(h.max(), 10_000);
+        // p50 falls in the bucket of 8 → upper bound 15.
+        assert_eq!(h.value_at_quantile(0.50), 15);
+        // p90 falls in the bucket of 100 → [64, 127].
+        assert_eq!(h.value_at_quantile(0.90), 127);
+        // p99 falls in the bucket of 10_000 → [8192, 16383], capped at max.
+        assert_eq!(h.value_at_quantile(0.99), 10_000);
+        assert_eq!(h.value_at_quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn empty_and_reset() {
+        let h = LogHistogram::new();
+        assert_eq!(h.value_at_quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(7);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn zeros_have_their_own_bucket() {
+        let h = LogHistogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        h.record(1 << 30);
+        assert_eq!(h.value_at_quantile(0.5), 0);
+        assert_eq!(h.value_at_quantile(1.0), 1 << 30);
+    }
+
+    #[test]
+    fn snapshot_is_consistent() {
+        let h = LogHistogram::new();
+        for v in [1u64, 2, 3, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1006);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4);
+    }
+}

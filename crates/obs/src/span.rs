@@ -1,0 +1,224 @@
+//! Span recording: RAII guards writing timestamped events into per-thread
+//! buffers.
+//!
+//! The hot path never takes a lock: events are pushed onto a plain
+//! thread-local `Vec` and flushed in batches of [`FLUSH_BATCH`] into the
+//! thread's shared [`ThreadLog`] (also on thread exit, via the
+//! thread-local's destructor — worker teams are scoped threads, so their
+//! buffers are always flushed by the time an engine returns).
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::registry::global;
+
+const FLUSH_BATCH: usize = 256;
+
+/// One recorded activity (a completed span or an instantaneous event).
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Activity name (e.g. `"evaluate"`).
+    pub name: &'static str,
+    /// Category, used by trace viewers to color lanes (e.g. `"stage"`).
+    pub cat: &'static str,
+    /// Start, in nanoseconds since the registry epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (`0` for instantaneous events).
+    pub dur_ns: u64,
+    /// `'X'` for complete spans, `'i'` for instants.
+    pub phase: char,
+    /// Optional `key = debug-formatted value` arguments.
+    pub args: Vec<(&'static str, String)>,
+}
+
+/// The shared sink one thread's events are flushed into; owned jointly by
+/// the registry (for export) and the thread-local buffer (for writing).
+pub struct ThreadLog {
+    tid: u32,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl ThreadLog {
+    pub(crate) fn new(tid: u32) -> ThreadLog {
+        ThreadLog {
+            tid,
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The lane id events from this thread render under.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// A copy of the flushed events, sorted by start timestamp.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let mut out = self
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        out.sort_by_key(|e| e.ts_ns);
+        out
+    }
+
+    fn append(&self, batch: &mut Vec<SpanEvent>) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .append(batch);
+    }
+}
+
+struct LocalBuf {
+    log: Arc<ThreadLog>,
+    generation: u64,
+    pending: Vec<SpanEvent>,
+}
+
+impl LocalBuf {
+    fn flush(&mut self) {
+        if !self.pending.is_empty() {
+            self.log.append(&mut self.pending);
+        }
+    }
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalBuf>> = const { RefCell::new(None) };
+}
+
+fn push_event(event: SpanEvent) {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let generation = global().generation();
+        let needs_init = match slot.as_ref() {
+            Some(buf) => buf.generation != generation,
+            None => true,
+        };
+        if needs_init {
+            // First event on this thread (or first after a reset):
+            // register a fresh lane. A stale buffer's pending events
+            // belong to the pre-reset world and are dropped with it.
+            *slot = Some(LocalBuf {
+                log: global().register_thread_log(),
+                generation,
+                pending: Vec::with_capacity(FLUSH_BATCH),
+            });
+        }
+        let buf = slot.as_mut().expect("initialized above");
+        buf.pending.push(event);
+        if buf.pending.len() >= FLUSH_BATCH {
+            buf.flush();
+        }
+    });
+}
+
+/// Flushes the calling thread's pending events into its shared log so an
+/// exporter on another thread (or later on this one) can see them.
+pub fn flush_thread() {
+    LOCAL.with(|slot| {
+        if let Some(buf) = slot.borrow_mut().as_mut() {
+            buf.flush();
+        }
+    });
+}
+
+/// An in-flight span; records a `'X'` event over its lifetime when dropped.
+#[must_use = "a span measures the scope it lives in; bind it with `let _s = ...`"]
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    args: Vec<(&'static str, String)>,
+    active: bool,
+}
+
+impl Span {
+    /// A disabled span: recording nothing, costing nothing on drop.
+    pub fn inert() -> Span {
+        Span {
+            name: "",
+            cat: "",
+            start_ns: 0,
+            args: Vec::new(),
+            active: false,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let end = global().now_ns();
+        push_event(SpanEvent {
+            name: self.name,
+            cat: self.cat,
+            ts_ns: self.start_ns,
+            dur_ns: end.saturating_sub(self.start_ns),
+            phase: 'X',
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+/// Opens a span in the default `"stage"` category.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    span_cat(name, "stage")
+}
+
+/// Opens a span in an explicit category.
+#[inline]
+pub fn span_cat(name: &'static str, cat: &'static str) -> Span {
+    if !global().is_enabled() {
+        return Span::inert();
+    }
+    Span {
+        name,
+        cat,
+        start_ns: global().now_ns(),
+        args: Vec::new(),
+        active: true,
+    }
+}
+
+/// Opens a span carrying pre-rendered arguments (used by the `span!`
+/// macro, which only evaluates the arguments when recording is enabled).
+pub fn span_with_args(name: &'static str, args: Vec<(&'static str, String)>) -> Span {
+    if !global().is_enabled() {
+        return Span::inert();
+    }
+    Span {
+        name,
+        cat: "stage",
+        start_ns: global().now_ns(),
+        args,
+        active: true,
+    }
+}
+
+/// Records an instantaneous event.
+#[inline]
+pub fn instant(name: &'static str, cat: &'static str) {
+    if !global().is_enabled() {
+        return;
+    }
+    push_event(SpanEvent {
+        name,
+        cat,
+        ts_ns: global().now_ns(),
+        dur_ns: 0,
+        phase: 'i',
+        args: Vec::new(),
+    });
+}

@@ -1,0 +1,84 @@
+//! End-to-end test for the metrics pipeline: concurrent increments through
+//! the global registry must sum exactly, and the JSONL exporter must emit
+//! one well-formed line per metric.
+//!
+//! Lives in its own integration-test file (= its own process) because it
+//! drives the process-global registry; keep it to a single `#[test]`.
+
+mod support;
+
+use support::json::{parse, Value};
+
+const THREADS: u64 = 8;
+const INCREMENTS: u64 = 10_000;
+
+#[test]
+fn concurrent_metrics_export_exactly() {
+    dacpara_obs::reset();
+    dacpara_obs::enable();
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let hits = dacpara_obs::counter("cut.memo_hits");
+                let latency = dacpara_obs::histogram("galois.commit_latency_ns");
+                for i in 0..INCREMENTS {
+                    hits.incr();
+                    // Known distribution: values 1..=4 in equal proportion.
+                    latency.record(1 + (t * INCREMENTS + i) % 4);
+                }
+            });
+        }
+    });
+    dacpara_obs::counter("cut.memo_misses").add(7);
+    dacpara_obs::disable();
+
+    // Counter values survive `disable` (only recording is gated).
+    let counters = dacpara_obs::global().counter_values();
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+            .1
+    };
+    assert_eq!(get("cut.memo_hits"), THREADS * INCREMENTS);
+    assert_eq!(get("cut.memo_misses"), 7);
+
+    // The JSONL exporter reports the same totals, one valid line each.
+    let jsonl = dacpara_obs::metrics_to_jsonl();
+    let mut saw_hits = false;
+    let mut saw_latency = false;
+    for line in jsonl.lines() {
+        let doc = parse(line).expect("every metrics line is valid JSON");
+        let name = doc.get("name").and_then(Value::as_str).expect("name");
+        let kind = doc.get("type").and_then(Value::as_str).expect("type");
+        match name {
+            "cut.memo_hits" => {
+                saw_hits = true;
+                assert_eq!(kind, "counter");
+                assert_eq!(
+                    doc.get("value").and_then(Value::as_i64),
+                    Some((THREADS * INCREMENTS) as i64)
+                );
+            }
+            "galois.commit_latency_ns" => {
+                saw_latency = true;
+                assert_eq!(kind, "histogram");
+                let count = doc.get("count").and_then(Value::as_i64).unwrap();
+                assert_eq!(count, (THREADS * INCREMENTS) as i64);
+                let sum = doc.get("sum").and_then(Value::as_i64).unwrap();
+                // Equal quarters of 1, 2, 3, 4 → mean 2.5.
+                assert_eq!(sum, (THREADS * INCREMENTS) as i64 * 10 / 4);
+                assert_eq!(doc.get("max").and_then(Value::as_i64), Some(4));
+                // p50 is reported as the upper edge of the rank's log bucket,
+                // capped at the observed max.
+                let p50 = doc.get("p50").and_then(Value::as_i64).unwrap();
+                assert!((1..=4).contains(&p50), "p50 within range, got {p50}");
+                assert_eq!(doc.get("p99").and_then(Value::as_i64), Some(4));
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_hits && saw_latency, "both metrics exported:\n{jsonl}");
+}

@@ -1,0 +1,3 @@
+//! Shared helpers for the obs integration tests.
+
+pub mod json;

@@ -1,0 +1,86 @@
+//! Golden test for the Chrome trace exporter: the output must be valid
+//! JSON with the trace-event shape, and timestamps must be monotone within
+//! each thread lane.
+//!
+//! Lives in its own integration-test file (= its own process) because it
+//! drives the process-global registry; keep it to a single `#[test]`.
+
+mod support;
+
+use support::json::{parse, Value};
+
+#[test]
+fn chrome_trace_is_valid_and_monotone_per_thread() {
+    dacpara_obs::reset();
+    dacpara_obs::enable();
+
+    // Three worker threads each record the three stage spans in order,
+    // plus an instant event.
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(|| {
+                for name in ["enumerate", "evaluate", "replace"] {
+                    let _span = dacpara_obs::span(name);
+                    std::hint::black_box(17u64.pow(3));
+                }
+                dacpara_obs::instant("spec.commit", "spec");
+            });
+        }
+    });
+    // And the main thread records one span with arguments.
+    {
+        let _span = dacpara_obs::span!("bench_run", benchmark = "unit", n = 3);
+    }
+    dacpara_obs::disable();
+
+    let text = dacpara_obs::chrome_trace_to_string();
+    let doc = parse(&text).expect("exporter must emit valid JSON");
+
+    let events = match doc.get("traceEvents") {
+        Some(Value::Array(events)) => events,
+        other => panic!("traceEvents array missing: {other:?}"),
+    };
+    // 3 threads × (3 spans + 1 instant) + 1 main-thread span.
+    assert_eq!(events.len(), 3 * 4 + 1, "{text}");
+
+    let mut last_end_by_tid: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
+    let mut seen_args = false;
+    for e in events {
+        let name = e.get("name").and_then(Value::as_str).expect("name");
+        let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+        assert!(ph == "X" || ph == "i", "unexpected phase {ph} on {name}");
+        let tid = e.get("tid").and_then(Value::as_i64).expect("tid");
+        let ts = e.get("ts").and_then(Value::as_f64).expect("ts");
+        assert!(ts >= 0.0);
+        if ph == "X" {
+            let dur = e.get("dur").and_then(Value::as_f64).expect("dur on X");
+            assert!(dur >= 0.0);
+        } else {
+            assert!(e.get("dur").is_none(), "instants carry no dur");
+        }
+        // Per-lane monotonicity: within one thread, spans are recorded in
+        // completion order of nested scopes, so each event starts at or
+        // after the previous event on the same lane started.
+        let prev = last_end_by_tid.entry(tid).or_insert(0.0);
+        assert!(
+            ts >= *prev,
+            "lane {tid} went backwards: {ts} after {prev} ({name})"
+        );
+        *prev = ts;
+        if let Some(Value::Object(args)) = e.get("args") {
+            seen_args = true;
+            assert!(args.iter().any(|(k, _)| k == "benchmark"));
+        }
+    }
+    assert!(seen_args, "the span! arguments must be exported");
+
+    // Every stage name appears on every one of the three worker lanes.
+    for stage in ["enumerate", "evaluate", "replace"] {
+        let lanes: std::collections::HashSet<i64> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some(stage))
+            .map(|e| e.get("tid").and_then(Value::as_i64).unwrap())
+            .collect();
+        assert_eq!(lanes.len(), 3, "{stage} must appear on all worker lanes");
+    }
+}

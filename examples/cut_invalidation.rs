@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n2 = aig.add_and(root, d); // the consumer whose cut we will store
     aig.add_output(n2);
     aig.check()?;
-    println!("graph: {} ANDs; consumer n2 = {:?}", aig.num_ands(), n2.node());
+    println!(
+        "graph: {} ANDs; consumer n2 = {:?}",
+        aig.num_ands(),
+        n2.node()
+    );
 
     // ---- "Stage 2": evaluate n2 and store its best candidate (prepInfo).
     let ctx = EvalContext::new(&RewriteConfig {
@@ -83,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             same_gen
         })
-        .fold(true, |acc, ok| acc && ok);
+        // collect first: every leaf must be printed, `all` would short-circuit
+        .collect::<Vec<bool>>()
+        .into_iter()
+        .all(|ok| ok);
 
     if fresh {
         println!("leaves untouched: Theorem 1 applies, the stored cut is still valid.");

@@ -23,7 +23,10 @@ fn main() {
     }
     println!("\nbest-structure size histogram (gates -> classes):");
     for (size, count) in &histogram {
-        println!("  {size:>2} gates: {count:>3} classes  {}", "#".repeat(*count / 2 + 1));
+        println!(
+            "  {size:>2} gates: {count:>3} classes  {}",
+            "#".repeat(*count / 2 + 1)
+        );
     }
 
     // What refinement improves.

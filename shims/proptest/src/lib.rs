@@ -1,0 +1,143 @@
+//! Std-only shim for the `proptest` API surface used by this workspace.
+//!
+//! Provides the `proptest!` macro, range / tuple / vec / regex-string
+//! strategies, `prop_oneof!`, `Just`, `any::<T>()`, `prop_assert*!` and
+//! `ProptestConfig::with_cases`. Cases are generated from a deterministic
+//! per-case seed, so failures are reproducible; unlike the real crate there
+//! is **no shrinking** and `proptest-regressions` files are ignored — the
+//! failing inputs are printed in full instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Mirror of the real crate's `prop` re-export namespace
+/// (`prop::collection::vec(...)` call sites).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(bindings in strategies) { body }`
+/// item expands to a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                let mut inputs = String::new();
+                $(
+                    let value = ($strat).generate(&mut rng);
+                    inputs.push_str(&format!(
+                        "  {} = {:?}\n",
+                        stringify!($pat),
+                        value
+                    ));
+                    let $pat = value;
+                )+
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                ));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest case {}/{} of {} failed: {}\ninputs:\n{}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        e,
+                        inputs
+                    ),
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest case {}/{} of {} panicked; inputs:\n{}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            inputs
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the enclosing property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property-test case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Fails the enclosing property-test case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Picks uniformly between several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

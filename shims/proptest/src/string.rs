@@ -1,0 +1,229 @@
+//! String strategies from a small regex subset, mirroring proptest's
+//! `&str`-as-strategy behaviour.
+//!
+//! Supported syntax: literal characters, `\n`/`\t`/`\r`/`\\` escapes,
+//! character classes `[a-z0-9_]` (ranges + escapes), and the quantifiers
+//! `{m}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 32 repeats).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 32;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// A fixed character.
+    Lit(char),
+    /// A set of candidate characters.
+    Class(Vec<char>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled pattern usable as a `Strategy<Value = String>`.
+#[derive(Clone, Debug)]
+pub struct RegexStrategy {
+    pieces: Vec<Piece>,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        _ => c,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let Some(c) = chars.next() else {
+            panic!("unterminated character class in regex strategy");
+        };
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    set.push(p);
+                }
+                return set;
+            }
+            '\\' => {
+                let e = chars.next().expect("dangling escape in character class");
+                if let Some(p) = pending.replace(unescape(e)) {
+                    set.push(p);
+                }
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().expect("checked above");
+                let hi = match chars.next().expect("checked above") {
+                    '\\' => unescape(chars.next().expect("dangling escape")),
+                    other => other,
+                };
+                assert!(lo <= hi, "inverted range {lo:?}-{hi:?} in regex strategy");
+                set.extend(lo..=hi);
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    set.push(p);
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            match body.split_once(',') {
+                Some((m, n)) => {
+                    let m: u32 = m.trim().parse().expect("bad {m,n} quantifier");
+                    let n: u32 = n.trim().parse().expect("bad {m,n} quantifier");
+                    assert!(m <= n, "inverted {{m,n}} quantifier");
+                    (m, n)
+                }
+                None => {
+                    let m: u32 = body.trim().parse().expect("bad {m} quantifier");
+                    (m, m)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+/// Compiles `pattern` into a generator.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset.
+pub fn compile(pattern: &str) -> RegexStrategy {
+    let mut pieces = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Lit(unescape(chars.next().expect("dangling escape"))),
+            other => Atom::Lit(other),
+        };
+        if let Atom::Class(set) = &atom {
+            assert!(!set.is_empty(), "empty character class in regex strategy");
+        }
+        let (min, max) = parse_quantifier(&mut chars);
+        pieces.push(Piece { atom, min, max });
+    }
+    RegexStrategy { pieces }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let span = u64::from(piece.max - piece.min) + 1;
+            let n = piece.min + rng.below(span) as u32;
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        compile(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests", 0)
+    }
+
+    #[test]
+    fn literals_emit_verbatim() {
+        let mut r = rng();
+        assert_eq!(compile("abc").generate(&mut r), "abc");
+        assert_eq!(compile("a\\nb").generate(&mut r), "a\nb");
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = compile("[0-9]{1,3}").generate(&mut r);
+            assert!((1..=3).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_soup_shape() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = compile("[ -~\\n]{0,200}").generate(&mut r);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn aiger_header_shape() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s =
+                compile("aig [0-9]{1,3} [0-9]{1,2} 0 [0-9]{1,2} [0-9]{1,3}\\n").generate(&mut r);
+            assert!(s.starts_with("aig "), "{s:?}");
+            assert!(s.ends_with('\n'), "{s:?}");
+            assert_eq!(s.split_whitespace().count(), 6, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn star_plus_question() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = compile("x[ab]*y?z+").generate(&mut r);
+            assert!(s.starts_with('x'), "{s:?}");
+            assert!(s.ends_with('z'), "{s:?}");
+        }
+    }
+}

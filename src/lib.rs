@@ -16,7 +16,11 @@ pub fn exhaustively_equivalent(a: &Aig, b: &Aig) -> bool {
     assert_eq!(n, b.num_inputs());
     assert_eq!(a.num_outputs(), b.num_outputs());
     let words = elementary_words(n);
-    let mask = if n == 6 { !0u64 } else { (1u64 << (1 << n)) - 1 };
+    let mask = if n == 6 {
+        !0u64
+    } else {
+        (1u64 << (1 << n)) - 1
+    };
     let oa = simulate_words(a, &words);
     let ob = simulate_words(b, &words);
     oa.iter().zip(&ob).all(|(x, y)| (x ^ y) & mask == 0)

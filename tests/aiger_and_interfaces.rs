@@ -11,7 +11,12 @@ fn aiger_roundtrip_on_the_whole_test_suite() {
         let back = aiger::read(text.as_bytes()).expect("self-written aiger parses");
         back.check().unwrap();
         assert_eq!(back.num_inputs(), bench.aig.num_inputs(), "{}", bench.name);
-        assert_eq!(back.num_outputs(), bench.aig.num_outputs(), "{}", bench.name);
+        assert_eq!(
+            back.num_outputs(),
+            bench.aig.num_outputs(),
+            "{}",
+            bench.name
+        );
         assert_eq!(back.num_ands(), bench.aig.num_ands(), "{}", bench.name);
         // A second round trip is byte-identical (canonical form).
         assert_eq!(aiger::to_string(&back), text, "{}", bench.name);

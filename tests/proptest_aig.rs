@@ -16,7 +16,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn recipe() -> impl Strategy<Value = (usize, Vec<Op>, usize)> {
-    (2..6usize, prop::collection::vec(op_strategy(), 1..40), 1..4usize)
+    (
+        2..6usize,
+        prop::collection::vec(op_strategy(), 1..40),
+        1..4usize,
+    )
 }
 
 proptest! {

@@ -17,7 +17,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn small_circuit() -> impl Strategy<Value = (usize, Vec<Op>, usize)> {
-    (3..6usize, prop::collection::vec(op_strategy(), 4..48), 1..4usize)
+    (
+        3..6usize,
+        prop::collection::vec(op_strategy(), 4..48),
+        1..4usize,
+    )
 }
 
 proptest! {

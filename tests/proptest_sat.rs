@@ -12,10 +12,9 @@ fn clause_strategy(num_vars: u8) -> impl Strategy<Value = Clause> {
 
 fn brute_force_sat(num_vars: u8, clauses: &[Clause]) -> bool {
     for assignment in 0u32..1 << num_vars {
-        let ok = clauses.iter().all(|c| {
-            c.iter()
-                .any(|&(v, neg)| (assignment >> v & 1 == 1) != neg)
-        });
+        let ok = clauses
+            .iter()
+            .all(|c| c.iter().any(|&(v, neg)| (assignment >> v & 1 == 1) != neg));
         if ok {
             return true;
         }

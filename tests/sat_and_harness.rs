@@ -32,10 +32,7 @@ fn sat_agrees_with_simulation_on_pinned_inputs() {
             let mut solver = Solver::new();
             let map = CnfMap::encode(&aig, &mut solver);
             for (k, &i) in aig.inputs().iter().enumerate() {
-                solver.add_clause(&[dacpara_equiv::CLit::new(
-                    map.var(i).unwrap(),
-                    !inputs[k],
-                )]);
+                solver.add_clause(&[dacpara_equiv::CLit::new(map.var(i).unwrap(), !inputs[k])]);
             }
             dacpara_equiv::assert_lit(&mut solver, &map, aig.outputs()[0]);
             let want = if expect {

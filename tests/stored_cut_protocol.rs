@@ -2,9 +2,7 @@
 //! through the public API — the executable version of the paper's Fig. 3.
 
 use dacpara::validity::{cut_cover, verify_cut};
-use dacpara::{
-    build_replacement, evaluate_node, reevaluate_structure, EvalContext, RewriteConfig,
-};
+use dacpara::{build_replacement, evaluate_node, reevaluate_structure, EvalContext, RewriteConfig};
 use dacpara_aig::{Aig, AigRead};
 use dacpara_cut::{CutConfig, CutStore};
 use dacpara_npn::ClassRegistry;
