@@ -110,13 +110,11 @@ impl ConcurrentAig {
     /// Panics if `headroom < 1.0`.
     pub fn from_aig(aig: &Aig, headroom: f64) -> ConcurrentAig {
         assert!(headroom >= 1.0, "headroom must be at least 1.0");
-        let live = 1 + aig.num_inputs() + aig.num_ands();
-        let capacity = ((live as f64 * headroom) as usize).max(live) + 64;
-
+        let capacity = Self::required_capacity(aig, headroom);
         let nodes: Box<[CNode]> = (0..capacity).map(|_| CNode::free()).collect();
         let fanouts: Box<[RwLock<Vec<NodeId>>]> =
             (0..capacity).map(|_| RwLock::new(Vec::new())).collect();
-        let shared = ConcurrentAig {
+        let mut shared = ConcurrentAig {
             nodes,
             fanouts,
             inputs: Vec::new(),
@@ -126,22 +124,77 @@ impl ConcurrentAig {
             num_ands: AtomicUsize::new(0),
             next_fresh: AtomicUsize::new(0),
         };
-        let mut shared = shared;
+        shared.populate(aig);
+        shared
+    }
 
+    fn required_capacity(aig: &Aig, headroom: f64) -> usize {
+        let live = 1 + aig.num_inputs() + aig.num_ands();
+        ((live as f64 * headroom) as usize).max(live) + 64
+    }
+
+    /// Re-initializes this arena from a (possibly mutated) serial graph,
+    /// **reusing the existing allocation** whenever the current capacity
+    /// suffices — the node boxes, fanout vectors and bookkeeping lists are
+    /// recycled instead of reallocated. Only when `aig` outgrew the arena
+    /// is fresh storage allocated.
+    ///
+    /// Every slot's generation is bumped (never reset), so stale cut-memo
+    /// entries recorded against the previous occupants can never match the
+    /// re-synced graph.
+    ///
+    /// Call from a single thread while no parallel operators are running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headroom < 1.0`.
+    pub fn resync_from(&mut self, aig: &Aig, headroom: f64) {
+        assert!(headroom >= 1.0, "headroom must be at least 1.0");
+        let capacity = Self::required_capacity(aig, headroom);
+        if capacity > self.nodes.len() {
+            self.nodes = (0..capacity).map(|_| CNode::free()).collect();
+            self.fanouts = (0..capacity).map(|_| RwLock::new(Vec::new())).collect();
+        } else {
+            for node in self.nodes.iter_mut() {
+                node.kind.store(NodeKind::Free.to_u8(), ORD_STORE);
+                node.fanin0.store(0, Ordering::Relaxed);
+                node.fanin1.store(0, Ordering::Relaxed);
+                node.refs.store(0, Ordering::Relaxed);
+                node.po_refs.store(0, Ordering::Relaxed);
+                node.level.store(0, Ordering::Relaxed);
+                node.flags.store(0, Ordering::Relaxed);
+                node.gen.fetch_add(1, Ordering::Relaxed);
+            }
+            for f in self.fanouts.iter_mut() {
+                f.get_mut().clear();
+            }
+        }
+        self.inputs.clear();
+        self.outputs.get_mut().clear();
+        self.free.get_mut().clear();
+        self.pending.get_mut().clear();
+        self.num_ands.store(0, Ordering::Relaxed);
+        self.next_fresh.store(0, Ordering::Relaxed);
+        self.populate(aig);
+    }
+
+    /// Copies `aig` into the (cleared) arena: constant, inputs, then ANDs
+    /// in topological order.
+    fn populate(&mut self, aig: &Aig) {
         // Slot 0: constant.
-        shared.nodes[0]
+        self.nodes[0]
             .kind
             .store(NodeKind::Const0.to_u8(), ORD_STORE);
-        shared.next_fresh.store(1, Ordering::Relaxed);
+        self.next_fresh.store(1, Ordering::Relaxed);
 
         let mut map: Vec<Lit> = vec![Lit::FALSE; aig.slot_count()];
         for &inp in aig.inputs() {
-            let slot = shared.next_fresh.fetch_add(1, Ordering::Relaxed);
+            let slot = self.next_fresh.fetch_add(1, Ordering::Relaxed);
             let id = NodeId::new(slot as u32);
-            shared.nodes[slot]
+            self.nodes[slot]
                 .kind
                 .store(NodeKind::Input.to_u8(), ORD_STORE);
-            shared.inputs.push(id);
+            self.inputs.push(id);
             map[inp.index()] = id.lit();
         }
         for n in crate::topo::topo_ands(aig) {
@@ -149,37 +202,36 @@ impl ConcurrentAig {
             let ma = map[a.node().index()].xor(a.is_complement());
             let mb = map[b.node().index()].xor(b.is_complement());
             let (ma, mb) = if ma <= mb { (ma, mb) } else { (mb, ma) };
-            let slot = shared.next_fresh.fetch_add(1, Ordering::Relaxed);
+            let slot = self.next_fresh.fetch_add(1, Ordering::Relaxed);
             let id = NodeId::new(slot as u32);
-            let node = &shared.nodes[slot];
+            let node = &self.nodes[slot];
             node.kind.store(NodeKind::And.to_u8(), ORD_STORE);
             node.fanin0.store(ma.raw(), Ordering::Relaxed);
             node.fanin1.store(mb.raw(), Ordering::Relaxed);
-            let level = 1 + shared.level(ma.node()).max(shared.level(mb.node()));
+            let level = 1 + self.level(ma.node()).max(self.level(mb.node()));
             node.level.store(level, Ordering::Relaxed);
             for l in [ma, mb] {
-                shared.fanouts[l.node().index()].get_mut().push(id);
-                shared.nodes[l.node().index()]
+                self.fanouts[l.node().index()].get_mut().push(id);
+                self.nodes[l.node().index()]
                     .refs
                     .fetch_add(1, Ordering::Relaxed);
             }
-            shared.num_ands.fetch_add(1, Ordering::Relaxed);
+            self.num_ands.fetch_add(1, Ordering::Relaxed);
             map[n.index()] = id.lit();
         }
         {
-            let mut outs = shared.outputs.lock();
+            let outs = self.outputs.get_mut();
             for &po in aig.outputs() {
                 let l = map[po.node().index()].xor(po.is_complement());
                 outs.push(l);
-                shared.nodes[l.node().index()]
+                self.nodes[l.node().index()]
                     .refs
                     .fetch_add(1, Ordering::Relaxed);
-                shared.nodes[l.node().index()]
+                self.nodes[l.node().index()]
                     .po_refs
                     .fetch_add(1, Ordering::Relaxed);
             }
         }
-        shared
     }
 
     /// Total number of node slots in the arena.
@@ -385,6 +437,18 @@ impl ConcurrentAig {
     /// fanin that becomes dangling. Same lock discipline as
     /// [`ConcurrentAig::replace_locked`].
     pub fn delete_cone(&self, root: NodeId) {
+        self.delete_cone_inner(root, None);
+    }
+
+    /// Like [`ConcurrentAig::delete_cone`], but records each *surviving*
+    /// fanin of a deleted node into `boundary` — the nodes whose reference
+    /// counts (and hence MFFC/sharing picture) changed without their own
+    /// structure changing. Entries may repeat.
+    pub fn delete_cone_logged(&self, root: NodeId, boundary: &mut Vec<NodeId>) {
+        self.delete_cone_inner(root, Some(boundary));
+    }
+
+    fn delete_cone_inner(&self, root: NodeId, mut boundary: Option<&mut Vec<NodeId>>) {
         debug_assert_eq!(self.nodes[root.index()].refs.load(ORD_LOAD), 0);
         debug_assert_eq!(self.kind(root), NodeKind::And);
         let mut stack = vec![root];
@@ -405,6 +469,8 @@ impl ConcurrentAig {
                 let prev = self.nodes[v.index()].refs.fetch_sub(1, Ordering::AcqRel);
                 if prev == 1 && self.kind(v) == NodeKind::And {
                     stack.push(v);
+                } else if let Some(b) = boundary.as_deref_mut() {
+                    b.push(v);
                 }
             }
             node.kind.store(NodeKind::Free.to_u8(), ORD_STORE);
@@ -419,6 +485,19 @@ impl ConcurrentAig {
     /// parallel operators are running** (the engines call it between level
     /// worklists). Returns the number of nodes eliminated.
     pub fn canonicalize(&self) -> usize {
+        self.canonicalize_inner(None)
+    }
+
+    /// Like [`ConcurrentAig::canonicalize`], but records into `touched`
+    /// every node whose cached cut or cost picture may have changed: each
+    /// processed pending node, each merge target (its fanout set grew), and
+    /// the surviving boundary fanins of any cone deleted by a merge.
+    /// Entries may repeat, and some may be dead by the time this returns.
+    pub fn canonicalize_traced(&self, touched: &mut Vec<NodeId>) -> usize {
+        self.canonicalize_inner(Some(touched))
+    }
+
+    fn canonicalize_inner(&self, mut touched: Option<&mut Vec<NodeId>>) -> usize {
         let before = self.num_ands();
         loop {
             let batch: Vec<NodeId> = std::mem::take(&mut *self.pending.lock());
@@ -430,6 +509,9 @@ impl ConcurrentAig {
                 if self.kind(f) != NodeKind::And {
                     continue;
                 }
+                if let Some(t) = touched.as_deref_mut() {
+                    t.push(f);
+                }
                 let a = Lit::from_raw(self.nodes[f.index()].fanin0.load(ORD_LOAD));
                 let b = Lit::from_raw(self.nodes[f.index()].fanin1.load(ORD_LOAD));
                 let target = if let Some(t) = Aig::fold_and(a, b) {
@@ -438,12 +520,15 @@ impl ConcurrentAig {
                     self.find_and_excluding(a, b, f).map(NodeId::lit)
                 };
                 if let Some(t) = target {
+                    if let Some(log) = touched.as_deref_mut() {
+                        log.push(t.node());
+                    }
                     self.nodes[t.node().index()]
                         .refs
                         .fetch_add(1, Ordering::AcqRel);
                     self.move_fanout_edges(f, t);
                     debug_assert_eq!(self.nodes[f.index()].refs.load(ORD_LOAD), 0);
-                    self.delete_cone(f);
+                    self.delete_cone_inner(f, touched.as_deref_mut());
                     self.nodes[t.node().index()]
                         .refs
                         .fetch_sub(1, Ordering::AcqRel);
@@ -470,11 +555,22 @@ impl ConcurrentAig {
 
     /// Removes every dangling AND node. Call from a single thread.
     pub fn cleanup(&self) -> usize {
+        self.cleanup_inner(None)
+    }
+
+    /// Like [`ConcurrentAig::cleanup`], but records the surviving boundary
+    /// fanins of every deleted cone into `boundary` (see
+    /// [`ConcurrentAig::delete_cone_logged`]).
+    pub fn cleanup_traced(&self, boundary: &mut Vec<NodeId>) -> usize {
+        self.cleanup_inner(Some(boundary))
+    }
+
+    fn cleanup_inner(&self, mut boundary: Option<&mut Vec<NodeId>>) -> usize {
         let before = self.num_ands();
         for i in 0..self.capacity() {
             let n = NodeId::new(i as u32);
             if self.kind(n) == NodeKind::And && self.refs(n) == 0 {
-                self.delete_cone(n);
+                self.delete_cone_inner(n, boundary.as_deref_mut());
             }
         }
         before - self.num_ands()
@@ -687,6 +783,115 @@ mod tests {
         assert!(shared.generation(sab) > gen0);
         shared.canonicalize();
         shared.cleanup();
+        shared.check().unwrap();
+    }
+
+    #[test]
+    fn resync_reuses_allocation_and_matches_from_aig() {
+        let (aig, ..) = sample();
+        let mut shared = ConcurrentAig::from_aig(&aig, 2.0);
+        let cap = shared.capacity();
+
+        // Mutate the arena so stale state would show through a sloppy reset.
+        let ins = shared.input_ids();
+        let fresh = shared.add_and_locked(ins[0].lit(), ins[1].lit()).unwrap();
+        let stale_gen = shared.generation(fresh.node());
+
+        // Re-sync from a *different* (smaller) graph that fits in place.
+        let mut small = Aig::new();
+        let a = small.add_input();
+        let b = small.add_input();
+        let ab = small.add_and(a, b);
+        small.add_output(!ab);
+        shared.resync_from(&small, 2.0);
+
+        assert_eq!(shared.capacity(), cap, "allocation must be reused");
+        shared.check().unwrap();
+        let back = shared.to_aig();
+        back.check().unwrap();
+        assert_eq!(back.num_inputs(), 2);
+        assert_eq!(back.num_ands(), 1);
+        assert_eq!(back.num_outputs(), 1);
+        // Generations were bumped, not reset: any entry recorded against the
+        // previous occupant of a recycled slot can never validate again.
+        assert!(shared.generation(fresh.node()) > stale_gen);
+    }
+
+    #[test]
+    fn resync_grows_when_capacity_is_exceeded() {
+        let mut tiny = Aig::new();
+        let a = tiny.add_input();
+        let b = tiny.add_input();
+        let tab = tiny.add_and(a, b);
+        tiny.add_output(tab);
+        let mut shared = ConcurrentAig::from_aig(&tiny, 1.0);
+        let cap = shared.capacity();
+
+        let mut big = Aig::new();
+        let mut lit = big.add_input();
+        for _ in 0..(cap + 8) {
+            let other = big.add_input();
+            lit = big.add_and(lit, other);
+        }
+        big.add_output(lit);
+        shared.resync_from(&big, 1.5);
+        assert!(shared.capacity() > cap);
+        shared.check().unwrap();
+        assert_eq!(shared.num_ands(), big.num_ands());
+    }
+
+    #[test]
+    fn canonicalize_traced_reports_merge_sites() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ac = aig.add_and(a, c);
+        let bc = aig.add_and(b, c);
+        let top = aig.add_and(ac, bc);
+        aig.add_output(top);
+        let shared = ConcurrentAig::from_aig(&aig, 2.0);
+        let ins = shared.input_ids();
+        let (ca, cb, cc) = (ins[0].lit(), ins[1].lit(), ins[2].lit());
+        let sac = shared.find_and(ca, cc).unwrap();
+        let sbc = shared.find_and(cb, cc).unwrap();
+        let stop = shared.find_and(sac.lit(), sbc.lit()).unwrap();
+
+        shared.replace_locked(sbc, sac.lit());
+        let mut touched = Vec::new();
+        let merged = shared.canonicalize_traced(&mut touched);
+        assert!(merged >= 1);
+        shared.check().unwrap();
+        // The queued fanout (top) was processed, and its merge target (ac)
+        // absorbed the fanout edges — both must be reported.
+        assert!(touched.contains(&stop));
+        assert!(touched.contains(&sac));
+    }
+
+    #[test]
+    fn cleanup_traced_reports_cone_boundary() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.add_and(a, b);
+        let _abc = aig.add_and(ab, c); // dangling: only ab is an output
+        aig.add_output(ab);
+        let shared = ConcurrentAig::from_aig(&aig, 2.0);
+        let ins = shared.input_ids();
+        let sab = shared.find_and(ins[0].lit(), ins[1].lit()).unwrap();
+        let sabc = shared.find_and(sab.lit(), ins[2].lit()).unwrap();
+        assert_eq!(shared.refs(sabc), 0);
+
+        // Deleting the dangling abc leaves ab (still a PO driver) and input
+        // c on the cone's boundary — their refs drop but they survive.
+        let mut boundary = Vec::new();
+        let removed = shared.cleanup_traced(&mut boundary);
+        assert_eq!(removed, 1);
+        assert!(!shared.is_alive(sabc));
+        assert!(shared.is_alive(sab));
+        assert!(boundary.contains(&sab));
+        assert!(boundary.contains(&ins[2]));
         shared.check().unwrap();
     }
 

@@ -2,12 +2,19 @@
 //! benchmark), optimize it with a chosen engine, and write the result.
 //!
 //! ```text
-//! rewrite [--engine abc|iccad18|dac22|tcad23|dacpara] [--threads N]
+//! rewrite [--engine NAME] [--threads N] [--passes N]
 //!         [--runs N] [--zeros] [--classes 134|222] [--check]
 //!         [--trace FILE.json] [--metrics FILE.jsonl]
 //!         [--in FILE.{aag,aig,blif}|--bench NAME[:scale]]
 //!         [--out FILE.{aag,aig,blif,v,dot}]
 //! ```
+//!
+//! `--engine` accepts any [`Engine`] name (see `Engine::help_list()`) plus
+//! the short aliases `abc`, `dac22`, `tcad23` and `partition`. `--passes N`
+//! applies the engine up to `N` times via [`dacpara::optimize`]; for
+//! `dacpara` and `iccad18` the passes share one `RewriteSession`, so later
+//! passes revisit only the nodes earlier passes dirtied and a converged
+//! pass returns immediately.
 //!
 //! Observability flags (see `docs/ARCHITECTURE.md`, "Observability"):
 //!
@@ -27,7 +34,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dacpara::{run_engine, Engine, RewriteConfig};
+use dacpara::{optimize, run_engine, Engine, RewriteConfig};
 use dacpara_aig::{aiger, Aig};
 use dacpara_circuits::{full_suite, Scale};
 use dacpara_equiv::{check_equivalence, CecConfig, CecResult};
@@ -35,6 +42,7 @@ use dacpara_equiv::{check_equivalence, CecConfig, CecResult};
 struct Args {
     engine: Engine,
     cfg: RewriteConfig,
+    passes: usize,
     input: Input,
     output: Option<PathBuf>,
     check: bool,
@@ -59,6 +67,7 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<
 fn parse_args() -> Result<Args, String> {
     let mut engine = Engine::DacPara;
     let mut cfg = RewriteConfig::rewrite_op();
+    let mut passes = 1;
     let mut input = None;
     let mut output = None;
     let mut check = false;
@@ -68,23 +77,20 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--engine" => {
-                engine = match it.next().as_deref() {
-                    Some("abc") => Engine::AbcRewrite,
-                    Some("iccad18") => Engine::Iccad18,
-                    Some("dac22") => Engine::Dac22,
-                    Some("tcad23") => Engine::Tcad23,
-                    Some("dacpara") => Engine::DacPara,
-                    other => return Err(format!("unknown engine {other:?}")),
-                };
+                let name = it.next().ok_or("--engine needs a name")?;
+                engine = name.parse().map_err(|e| format!("{e}"))?;
             }
             "--threads" => {
                 cfg.threads = parse_num("--threads", it.next())?;
-                if cfg.threads == 0 {
-                    return Err("--threads must be at least 1".into());
-                }
             }
             "--runs" => {
                 cfg.runs = parse_num("--runs", it.next())?;
+            }
+            "--passes" => {
+                passes = parse_num("--passes", it.next())?;
+                if passes == 0 {
+                    return Err("--passes must be at least 1".into());
+                }
             }
             "--classes" => {
                 cfg.num_classes = parse_num("--classes", it.next())?;
@@ -120,9 +126,11 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let input = input.ok_or("one of --in FILE or --bench NAME is required")?;
+    cfg.validate().map_err(|e| e.to_string())?;
     Ok(Args {
         engine,
         cfg,
+        passes,
         input,
         output,
         check,
@@ -193,11 +201,12 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: rewrite [--engine abc|iccad18|dac22|tcad23|dacpara] \
-                 [--threads N] [--runs N] [--zeros] [--classes 134|222] [--check] \
+                "usage: rewrite [--engine NAME] [--threads N] [--passes N] \
+                 [--runs N] [--zeros] [--classes 134|222] [--check] \
                  [--trace FILE.json] [--metrics FILE.jsonl] \
                  (--in FILE.aag | --bench NAME[:test|small|medium]) [--out FILE.aag]"
             );
+            eprintln!("engines: {}", Engine::help_list());
             return ExitCode::FAILURE;
         }
     };
@@ -215,11 +224,25 @@ fn main() -> ExitCode {
         dacpara_obs::enable();
     }
     eprintln!("input:  {}", dacpara_aig::export::stats(&aig));
-    match run_engine(&mut aig, args.engine, &args.cfg) {
-        Ok(stats) => eprintln!("{}", stats.summary()),
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    if args.passes == 1 {
+        match run_engine(&mut aig, args.engine, &args.cfg) {
+            Ok(stats) => eprintln!("{}", stats.summary()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match optimize(&mut aig, args.engine, &args.cfg, args.passes) {
+            Ok(passes) => {
+                for (i, stats) in passes.iter().enumerate() {
+                    eprintln!("pass {}: {}", i + 1, stats.summary());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     eprintln!("output: {}", dacpara_aig::export::stats(&aig));

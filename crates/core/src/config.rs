@@ -1,7 +1,48 @@
 //! Rewriting configuration shared by every engine.
 
+use dacpara_aig::AigError;
 use dacpara_cut::CutConfig;
 use dacpara_npn::{ClassId, ClassRegistry};
+
+/// A rejected [`RewriteConfig`] field, reported by
+/// [`RewriteConfig::validate`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `threads` must be at least 1.
+    ZeroThreads,
+    /// `runs` must be at least 1.
+    ZeroRuns,
+    /// `num_classes` must be at least 1.
+    ZeroClasses,
+    /// `headroom` must be at least 1.0 (the arena cannot shrink below the
+    /// live graph).
+    HeadroomTooSmall {
+        /// The rejected headroom value.
+        headroom: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroThreads => f.write_str("threads must be >= 1"),
+            ConfigError::ZeroRuns => f.write_str("runs must be >= 1"),
+            ConfigError::ZeroClasses => f.write_str("num_classes must be >= 1"),
+            ConfigError::HeadroomTooSmall { headroom } => {
+                write!(f, "headroom must be >= 1.0 (got {headroom})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for AigError {
+    fn from(e: ConfigError) -> AigError {
+        AigError::InvariantViolation(format!("invalid configuration: {e}"))
+    }
+}
 
 /// Parameters of a rewriting pass.
 ///
@@ -44,6 +85,11 @@ pub struct RewriteConfig {
     /// Use the enumeration-refined structure library (slower first-use
     /// build, slightly better structures; see `dacpara_nst::refine`).
     pub refined_library: bool,
+    /// Regions for the partition engine (Liu & Zhang, FPGA'17). `0` (the
+    /// default) means `2 × threads`, the heuristic the engine has always
+    /// used; the old trailing `parts` argument of `rewrite_partition`
+    /// folded into this field.
+    pub partition_regions: usize,
 }
 
 impl RewriteConfig {
@@ -61,6 +107,7 @@ impl RewriteConfig {
             level_partition: true,
             revalidate: true,
             refined_library: false,
+            partition_regions: 0,
         }
     }
 
@@ -89,6 +136,43 @@ impl RewriteConfig {
     pub fn with_threads(mut self, threads: usize) -> RewriteConfig {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Checks the fields every engine depends on, returning the first
+    /// violation. Called by `run_engine`, `RewriteSession::new`, and the
+    /// `rewrite` binary, so a bad configuration fails uniformly instead of
+    /// panicking (or hanging) somewhere inside an engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending field as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if self.runs == 0 {
+            return Err(ConfigError::ZeroRuns);
+        }
+        if self.num_classes == 0 {
+            return Err(ConfigError::ZeroClasses);
+        }
+        if self.headroom < 1.0 {
+            return Err(ConfigError::HeadroomTooSmall {
+                headroom: self.headroom,
+            });
+        }
+        Ok(())
+    }
+
+    /// The number of regions the partition engine should use:
+    /// [`RewriteConfig::partition_regions`], with `0` meaning
+    /// `2 × threads`.
+    pub fn effective_partition_regions(&self) -> usize {
+        if self.partition_regions == 0 {
+            self.threads.max(1) * 2
+        } else {
+            self.partition_regions
+        }
     }
 
     /// The cut-enumeration configuration.
@@ -158,6 +242,58 @@ mod tests {
         assert_eq!(allowed.iter().filter(|&&b| b).count(), 134);
         let all = RewriteConfig::drw_op().allowed_classes();
         assert_eq!(all.iter().filter(|&&b| b).count(), 222);
+    }
+
+    #[test]
+    fn validate_rejects_each_degenerate_field() {
+        assert_eq!(RewriteConfig::rewrite_op().validate(), Ok(()));
+        let cases = [
+            (
+                RewriteConfig {
+                    threads: 0,
+                    ..RewriteConfig::rewrite_op()
+                },
+                ConfigError::ZeroThreads,
+            ),
+            (
+                RewriteConfig {
+                    runs: 0,
+                    ..RewriteConfig::rewrite_op()
+                },
+                ConfigError::ZeroRuns,
+            ),
+            (
+                RewriteConfig {
+                    num_classes: 0,
+                    ..RewriteConfig::rewrite_op()
+                },
+                ConfigError::ZeroClasses,
+            ),
+            (
+                RewriteConfig {
+                    headroom: 0.5,
+                    ..RewriteConfig::rewrite_op()
+                },
+                ConfigError::HeadroomTooSmall { headroom: 0.5 },
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(), Err(want));
+        }
+        let err: dacpara_aig::AigError = ConfigError::ZeroThreads.into();
+        assert!(err.to_string().contains("invalid configuration"));
+    }
+
+    #[test]
+    fn partition_regions_default_tracks_threads() {
+        let cfg = RewriteConfig::rewrite_op().with_threads(4);
+        assert_eq!(cfg.partition_regions, 0);
+        assert_eq!(cfg.effective_partition_regions(), 8);
+        let explicit = RewriteConfig {
+            partition_regions: 3,
+            ..cfg
+        };
+        assert_eq!(explicit.effective_partition_regions(), 3);
     }
 
     #[test]

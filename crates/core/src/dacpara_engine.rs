@@ -31,8 +31,9 @@ use parking_lot::Mutex;
 
 use crate::eval::{build_replacement, evaluate_node, reevaluate_structure, Candidate, EvalContext};
 use crate::lockstep::backoff;
+use crate::session::RewriteSession;
 use crate::validity::{cut_cover, verify_cut};
-use crate::{RewriteConfig, RewriteStats};
+use crate::{Engine, RewriteConfig, RewriteStats};
 
 /// Atomic counters shared by the replacement operators.
 #[derive(Default)]
@@ -40,6 +41,7 @@ struct Counters {
     replacements: AtomicU64,
     stale_skipped: AtomicU64,
     revalidated: AtomicU64,
+    evaluations: AtomicU64,
 }
 
 /// Runs the DACPara pass.
@@ -61,31 +63,52 @@ struct Counters {
 /// # Ok::<(), dacpara_aig::AigError>(())
 /// ```
 pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStats, AigError> {
+    let mut session = RewriteSession::new(aig, cfg)?;
+    let stats = session.run(Engine::DacPara)?;
+    *aig = session.finish();
+    Ok(stats)
+}
+
+/// One DACPara pass on the session's resident state: the first pass (after
+/// creation or re-sync) covers the whole graph, later passes only the dirty
+/// set, and an empty dirty set returns immediately — no enumeration, no
+/// evaluation.
+pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, AigError> {
     let start = Instant::now();
-    let _pass_span = dacpara_obs::span!("rewrite_dacpara", threads = cfg.threads);
-    let ctx = EvalContext::new(cfg);
+    let _pass_span = dacpara_obs::span!("rewrite_dacpara", threads = sess.cfg.threads);
     let mut stats = RewriteStats {
         engine: "dacpara".into(),
-        area_before: aig.num_ands(),
-        delay_before: aig.depth(),
+        area_before: sess.shared.num_ands(),
+        delay_before: sess.shared.depth(),
         ..Default::default()
     };
     let spec = SpecStats::new();
+    let lock_base = sess.locks.stats().snapshot();
     let counters = Counters::default();
     let stage_ns = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+    let mut worked = false;
 
-    for _ in 0..cfg.runs.max(1) {
-        let shared = ConcurrentAig::from_aig(aig, cfg.headroom);
-        let store = CutStore::new(shared.capacity(), cfg.cut_config());
-        let locks = LockTable::new(shared.capacity());
-        let prep: Vec<Mutex<Option<Candidate>>> =
-            (0..shared.capacity()).map(|_| Mutex::new(None)).collect();
+    for _ in 0..sess.cfg.runs.max(1) {
+        let (work, skipped) = sess.take_worklist();
+        stats.clean_skipped += skipped;
+        if work.is_empty() {
+            continue; // fixpoint: nothing enumerated, nothing evaluated
+        }
+        worked = true;
+        let cfg = &sess.cfg;
+        let (shared, store, locks, prep, ctx) = (
+            &sess.shared,
+            &sess.store,
+            &sess.locks,
+            &sess.prep,
+            &sess.ctx,
+        );
 
         // --- Node dividing (Fig. 1): one worklist per initial level
         // (or a single global worklist under the ablation flag).
         let mut worklists: Vec<Vec<NodeId>> = Vec::new();
         if cfg.level_partition {
-            for n in dacpara_aig::topo_ands(&shared) {
+            for n in work {
                 let level = shared.level(n) as usize;
                 if worklists.len() <= level {
                     worklists.resize_with(level + 1, Vec::new);
@@ -93,7 +116,7 @@ pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStat
                 worklists[level].push(n);
             }
         } else {
-            worklists.push(dacpara_aig::topo_ands(&shared));
+            worklists.push(work);
         }
         stats.worklists += worklists.len();
 
@@ -102,9 +125,8 @@ pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStat
         let stage_start: Mutex<Instant> = Mutex::new(Instant::now());
 
         {
-            let (shared, store, locks, prep, ctx, queue, error, spec, counters, stage_ns) = (
-                &shared, &store, &locks, &prep, &ctx, &queue, &error, &spec, &counters, &stage_ns,
-            );
+            let (queue, error, spec, counters, stage_ns) =
+                (&queue, &error, &spec, &counters, &stage_ns);
             let worklists = &worklists;
             let stage_start = &stage_start;
             run_spmd(cfg.threads, |w| {
@@ -151,8 +173,10 @@ pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStat
                             for i in range {
                                 let n = list[i];
                                 if !shared.is_and(n) || shared.refs(n) == 0 {
+                                    *prep[n.index()].lock() = None;
                                     continue;
                                 }
+                                counters.evaluations.fetch_add(1, Ordering::Relaxed);
                                 let cand = store
                                     .try_cuts(shared, n)
                                     .and_then(|cuts| evaluate_node(shared, n, &cuts, ctx));
@@ -195,9 +219,10 @@ pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStat
                     }
                     end_stage(2);
 
-                    // Leader restores strash canonicity between lists.
+                    // Leader restores strash canonicity between lists,
+                    // tracing the merges into the dirty set.
                     if w.barrier() {
-                        shared.canonicalize();
+                        sess.canonicalize_and_sweep(false);
                     }
                     w.barrier();
                 }
@@ -206,23 +231,26 @@ pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStat
         if let Some(e) = error.lock().take() {
             return Err(e);
         }
-        spec.merge(locks.stats());
-        shared.canonicalize();
-        shared.cleanup();
-        *aig = shared.to_aig();
+        sess.canonicalize_and_sweep(true);
+        sess.shared.recompute_levels();
     }
 
-    aig.recompute_levels();
-    stats.area_after = aig.num_ands();
-    stats.delay_after = aig.depth();
+    stats.area_after = sess.shared.num_ands();
+    stats.delay_after = sess.shared.depth();
     stats.replacements = counters.replacements.load(Ordering::Relaxed);
     stats.stale_skipped = counters.stale_skipped.load(Ordering::Relaxed);
     stats.revalidated = counters.revalidated.load(Ordering::Relaxed);
+    stats.evaluations = counters.evaluations.load(Ordering::Relaxed);
+    spec.merge_snapshot(&sess.locks.stats().snapshot().since(&lock_base));
     stats.spec = spec.snapshot();
     for (i, ns) in stage_ns.iter().enumerate() {
         stats.stage_times[i] = std::time::Duration::from_nanos(ns.load(Ordering::Relaxed));
     }
     stats.time = start.elapsed();
+    if dacpara_obs::is_enabled() {
+        dacpara_obs::counter("rewrite.evaluations").add(stats.evaluations);
+    }
+    sess.set_converged(!worked || (stats.replacements == 0 && sess.store.dirty_count() == 0));
     Ok(stats)
 }
 
@@ -354,15 +382,25 @@ fn replace_operator(
             }
         };
 
-        // ---- Apply: clear stale enumeration results, build, replace.
-        for &f in &re.freed {
-            store.invalidate(f);
-        }
-        store.invalidate_tfo(shared, n);
+        // ---- Apply: build, then (only if the structure actually differs)
+        // clear stale enumeration results and replace. Invalidating before
+        // the no-op check would re-dirty n's fanout cone every pass and a
+        // session could never converge. The TFO walk must still precede
+        // `replace_locked`, which moves n's fanouts.
         let root = build_replacement(&mut &*shared, &cand, ctx.lib)?;
         if root.node() != n {
+            for &f in &re.freed {
+                store.invalidate(f);
+            }
+            store.invalidate_tfo(shared, n);
             shared.replace_locked(n, root);
             counters.replacements.fetch_add(1, Ordering::Relaxed);
+            // Everything whose evaluation could have changed — the cone
+            // interior, the new structure, shared nodes, and all downstream
+            // users — lies in the transitive fanout of the cut leaves.
+            for &l in &cand.leaves {
+                store.mark_dirty_tfo(shared, l);
+            }
             if dacpara_obs::is_enabled() {
                 dacpara_obs::histogram("rewrite.replacement_gain").record(re.gain.max(0) as u64);
             }
@@ -441,7 +479,7 @@ mod tests {
         // reduction versus the fully serial baseline.
         let gen = || control::voter(101);
         let mut serial = gen();
-        let s = crate::rewrite_serial(&mut serial, &cfg(1));
+        let s = crate::rewrite_serial(&mut serial, &cfg(1)).unwrap();
         let mut para = gen();
         let p = rewrite_dacpara(&mut para, &cfg(4)).unwrap();
         let slack = 1 + s.area_reduction() / 10;

@@ -36,11 +36,12 @@ mod lockstep;
 mod partition;
 mod pass;
 mod serial;
+mod session;
 mod static_info;
 mod stats;
 pub mod validity;
 
-pub use config::RewriteConfig;
+pub use config::{ConfigError, RewriteConfig};
 pub use dacpara_engine::rewrite_dacpara;
 pub use eval::{
     build_replacement, evaluate_cut, evaluate_node, reevaluate_structure, AndBuilder, Candidate,
@@ -48,7 +49,8 @@ pub use eval::{
 };
 pub use lockstep::rewrite_lockstep;
 pub use partition::rewrite_partition;
-pub use pass::{optimize, run_engine, Engine};
+pub use pass::{optimize, run_engine, Engine, ParseEngineError};
 pub use serial::rewrite_serial;
+pub use session::RewriteSession;
 pub use static_info::{rewrite_static, StaticMode};
 pub use stats::RewriteStats;

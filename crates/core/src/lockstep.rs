@@ -17,8 +17,9 @@ use dacpara_galois::{chunk_size, run_spmd, LockTable, SpecStats, WorkQueue};
 use parking_lot::Mutex;
 
 use crate::eval::{build_replacement, evaluate_node, reevaluate_structure, EvalContext};
+use crate::session::RewriteSession;
 use crate::validity::{cut_cover, verify_cut};
-use crate::{RewriteConfig, RewriteStats};
+use crate::{Engine, RewriteConfig, RewriteStats};
 
 /// Spin-then-yield backoff between speculative retries.
 pub(crate) fn backoff(spins: &mut u32) {
@@ -37,39 +38,45 @@ pub(crate) fn backoff(spins: &mut u32) {
 /// Returns [`AigError::CapacityExhausted`] if the arena headroom
 /// ([`RewriteConfig::headroom`]) proves insufficient.
 pub fn rewrite_lockstep(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStats, AigError> {
+    let mut session = RewriteSession::new(aig, cfg)?;
+    let stats = session.run(Engine::Iccad18)?;
+    *aig = session.finish();
+    Ok(stats)
+}
+
+/// One ICCAD'18 pass on the session's resident state (full graph on the
+/// first pass, dirty set afterwards, immediate return at a fixpoint).
+pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, AigError> {
     let start = Instant::now();
-    let _pass_span = dacpara_obs::span!("rewrite_lockstep", threads = cfg.threads);
-    let ctx = EvalContext::new(cfg);
+    let _pass_span = dacpara_obs::span!("rewrite_lockstep", threads = sess.cfg.threads);
     let mut stats = RewriteStats {
         engine: "iccad18".into(),
-        area_before: aig.num_ands(),
-        delay_before: aig.depth(),
+        area_before: sess.shared.num_ands(),
+        delay_before: sess.shared.depth(),
         ..Default::default()
     };
     let spec = SpecStats::new();
+    let lock_base = sess.locks.stats().snapshot();
+    let evaluations = AtomicU64::new(0);
+    let mut worked = false;
 
-    for _ in 0..cfg.runs.max(1) {
-        let shared = ConcurrentAig::from_aig(aig, cfg.headroom);
-        let store = CutStore::new(shared.capacity(), cfg.cut_config());
-        let locks = LockTable::new(shared.capacity());
-        let order = dacpara_aig::topo_ands(&shared);
+    for _ in 0..sess.cfg.runs.max(1) {
+        let (order, skipped) = sess.take_worklist();
+        stats.clean_skipped += skipped;
+        if order.is_empty() {
+            continue; // fixpoint: no operator runs at all
+        }
+        worked = true;
+        let cfg = &sess.cfg;
+        let (shared, store, locks, ctx) = (&sess.shared, &sess.store, &sess.locks, &sess.ctx);
         let queue = WorkQueue::new(order.len());
         let chunk = chunk_size(order.len(), cfg.threads);
         let error: Mutex<Option<AigError>> = Mutex::new(None);
         let replacements = AtomicU64::new(0);
 
         {
-            let (shared, store, locks, ctx, order, queue, error, replacements, spec) = (
-                &shared,
-                &store,
-                &locks,
-                &ctx,
-                &order,
-                &queue,
-                &error,
-                &replacements,
-                &spec,
-            );
+            let (order, queue, error, replacements, spec, evaluations) =
+                (&order, &queue, &error, &replacements, &spec, &evaluations);
             run_spmd(cfg.threads, |w| {
                 let owner = w.id as u32 + 1;
                 while let Some(range) = queue.next_chunk(chunk) {
@@ -77,7 +84,16 @@ pub fn rewrite_lockstep(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteSta
                         return;
                     }
                     for i in range {
-                        match combined_operator(shared, store, locks, ctx, order[i], owner, spec) {
+                        match combined_operator(
+                            shared,
+                            store,
+                            locks,
+                            ctx,
+                            order[i],
+                            owner,
+                            spec,
+                            evaluations,
+                        ) {
                             Ok(true) => {
                                 replacements.fetch_add(1, Ordering::Relaxed);
                             }
@@ -94,24 +110,25 @@ pub fn rewrite_lockstep(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteSta
         if let Some(e) = error.lock().take() {
             return Err(e);
         }
-        spec.merge(locks.stats());
         stats.replacements += replacements.load(Ordering::Relaxed);
-        shared.canonicalize();
-        shared.cleanup();
-        *aig = shared.to_aig();
+        sess.canonicalize_and_sweep(true);
+        sess.shared.recompute_levels();
     }
 
-    aig.recompute_levels();
-    stats.area_after = aig.num_ands();
-    stats.delay_after = aig.depth();
+    stats.area_after = sess.shared.num_ands();
+    stats.delay_after = sess.shared.depth();
+    stats.evaluations = evaluations.load(Ordering::Relaxed);
+    spec.merge_snapshot(&sess.locks.stats().snapshot().since(&lock_base));
     stats.spec = spec.snapshot();
     stats.time = start.elapsed();
+    sess.set_converged(!worked || (stats.replacements == 0 && sess.store.dirty_count() == 0));
     Ok(stats)
 }
 
 /// The single ICCAD'18-style operator: enumerate, lock everything related,
 /// evaluate *while holding the locks*, then replace. Returns whether a
 /// replacement was committed.
+#[allow(clippy::too_many_arguments)]
 fn combined_operator(
     shared: &ConcurrentAig,
     store: &CutStore,
@@ -120,6 +137,7 @@ fn combined_operator(
     n: NodeId,
     owner: u32,
     spec: &SpecStats,
+    evaluations: &AtomicU64,
 ) -> Result<bool, AigError> {
     let mut spins = 0u32;
     loop {
@@ -176,6 +194,7 @@ fn combined_operator(
 
         // Stage B: evaluation while holding every lock.
         let eval_span = dacpara_obs::span("evaluate");
+        evaluations.fetch_add(1, Ordering::Relaxed);
         let cand = evaluate_node(shared, n, &valid_cuts, ctx);
         drop(eval_span);
         let Some(cand) = cand else {
@@ -211,16 +230,24 @@ fn combined_operator(
             }
         };
 
-        // Stage C: replacement.
+        // Stage C: replacement. Invalidation happens only when the new
+        // structure actually differs (a no-op must not re-dirty the fanout
+        // cone, or a session would never converge) and the TFO walk must
+        // precede `replace_locked`, which moves n's fanouts.
         let _obs = dacpara_obs::span("replace");
-        for &f in &re.freed {
-            store.invalidate(f);
-        }
-        store.invalidate_tfo(shared, n);
         let root = build_replacement(&mut &*shared, &cand, ctx.lib)?;
         let applied = root.node() != n;
         if applied {
+            for &f in &re.freed {
+                store.invalidate(f);
+            }
+            store.invalidate_tfo(shared, n);
             shared.replace_locked(n, root);
+            // Everything whose evaluation could have changed lies in the
+            // transitive fanout of the cut leaves.
+            for &l in &cand.leaves {
+                store.mark_dirty_tfo(shared, l);
+            }
         }
         spec.record_commit(attempt.elapsed());
         return Ok(applied);

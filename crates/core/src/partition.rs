@@ -32,11 +32,13 @@ struct Region {
     sub: Aig,
 }
 
-/// Runs partition-parallel rewriting with `parts` regions.
+/// Runs partition-parallel rewriting. The region count comes from
+/// [`RewriteConfig::partition_regions`] (`0` = `2 × threads`).
 ///
 /// # Errors
 ///
-/// Currently infallible (kept `Result` for engine-interface parity).
+/// Propagates any error from the per-region serial engine (currently none
+/// in practice — the serial arena grows on demand).
 ///
 /// # Example
 ///
@@ -45,15 +47,11 @@ struct Region {
 /// use dacpara_circuits::control;
 ///
 /// let mut aig = control::voter(15);
-/// let stats = rewrite_partition(&mut aig, &RewriteConfig::rewrite_op().with_threads(2), 4)?;
+/// let stats = rewrite_partition(&mut aig, &RewriteConfig::rewrite_op().with_threads(2))?;
 /// assert!(stats.area_after <= stats.area_before);
 /// # Ok::<(), dacpara_aig::AigError>(())
 /// ```
-pub fn rewrite_partition(
-    aig: &mut Aig,
-    cfg: &RewriteConfig,
-    parts: usize,
-) -> Result<RewriteStats, AigError> {
+pub fn rewrite_partition(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStats, AigError> {
     let start = Instant::now();
     let mut stats = RewriteStats {
         engine: "partition-fpga17".into(),
@@ -62,7 +60,7 @@ pub fn rewrite_partition(
         ..Default::default()
     };
     aig.cleanup();
-    let parts = parts.max(1);
+    let parts = cfg.effective_partition_regions().max(1);
 
     for _ in 0..cfg.runs.max(1) {
         // ---- 1. Claim regions: output cones round-robin, first claim wins.
@@ -148,18 +146,33 @@ pub fn rewrite_partition(
         };
         let slots_vec: Vec<Mutex<Option<Region>>> = regions.into_iter().map(Mutex::new).collect();
         let replacements = Mutex::new(0u64);
+        let evaluations = Mutex::new(0u64);
+        let error: Mutex<Option<AigError>> = Mutex::new(None);
         {
-            let (slots_ref, sub_cfg, replacements) = (&slots_vec, &sub_cfg, &replacements);
+            let (slots_ref, sub_cfg, replacements, evaluations, error) =
+                (&slots_vec, &sub_cfg, &replacements, &evaluations, &error);
             let indices: Vec<usize> = (0..slots_ref.len()).collect();
             parallel_for(cfg.threads, &indices, |_, &i| {
+                if error.lock().is_some() {
+                    return;
+                }
                 let mut guard = slots_ref[i].lock();
                 if let Some(region) = guard.as_mut() {
-                    let s = rewrite_serial(&mut region.sub, sub_cfg);
-                    *replacements.lock() += s.replacements;
+                    match rewrite_serial(&mut region.sub, sub_cfg) {
+                        Ok(s) => {
+                            *replacements.lock() += s.replacements;
+                            *evaluations.lock() += s.evaluations;
+                        }
+                        Err(e) => *error.lock() = Some(e),
+                    }
                 }
             });
         }
+        if let Some(e) = error.lock().take() {
+            return Err(e);
+        }
         stats.replacements += *replacements.lock();
+        stats.evaluations += *evaluations.lock();
         let regions: Vec<Option<Region>> = slots_vec.into_iter().map(|m| m.into_inner()).collect();
 
         // ---- 4. Stitch: realize every exported signal in a fresh graph.
@@ -299,6 +312,13 @@ mod tests {
         }
     }
 
+    fn cfg_parts(parts: usize) -> RewriteConfig {
+        RewriteConfig {
+            partition_regions: parts,
+            ..cfg()
+        }
+    }
+
     fn assert_equiv(before: &Aig, after: &Aig) {
         let cec = CecConfig {
             sim_rounds: 32,
@@ -315,10 +335,10 @@ mod tests {
     fn single_partition_matches_serial_behaviour() {
         let golden = control::voter(15);
         let mut partitioned = golden.clone();
-        rewrite_partition(&mut partitioned, &cfg(), 1).unwrap();
+        rewrite_partition(&mut partitioned, &cfg_parts(1)).unwrap();
         partitioned.check().unwrap();
         let mut serial = golden.clone();
-        rewrite_serial(&mut serial, &cfg());
+        rewrite_serial(&mut serial, &cfg()).unwrap();
         // One region = the whole graph; the extraction renumbers nodes, so
         // the greedy engine visits in a different order and the areas can
         // differ by a few percent — but must stay in the same ballpark.
@@ -335,7 +355,7 @@ mod tests {
         let golden = arith::multiplier(8);
         for parts in [2, 4, 8] {
             let mut aig = golden.clone();
-            let stats = rewrite_partition(&mut aig, &cfg(), parts).unwrap();
+            let stats = rewrite_partition(&mut aig, &cfg_parts(parts)).unwrap();
             aig.check().unwrap();
             assert!(stats.area_after <= stats.area_before, "{parts} parts");
             assert_equiv(&golden, &aig);
@@ -356,9 +376,9 @@ mod tests {
             seed: 21,
         });
         let mut serial = golden.clone();
-        let s = rewrite_serial(&mut serial, &cfg());
+        let s = rewrite_serial(&mut serial, &cfg()).unwrap();
         let mut part = golden.clone();
-        let p = rewrite_partition(&mut part, &cfg(), 8).unwrap();
+        let p = rewrite_partition(&mut part, &cfg_parts(8)).unwrap();
         let (pr, sr) = (p.area_reduction(), s.area_reduction());
         assert!(
             pr.abs_diff(sr) * 100 <= sr.max(1) * 15,
@@ -377,7 +397,7 @@ mod tests {
         aig.add_output(ab);
         aig.add_output(dacpara_aig::Lit::TRUE);
         let golden = aig.clone();
-        rewrite_partition(&mut aig, &cfg(), 3).unwrap();
+        rewrite_partition(&mut aig, &cfg_parts(3)).unwrap();
         aig.check().unwrap();
         assert_equiv(&golden, &aig);
     }

@@ -4,7 +4,7 @@ use dacpara_aig::{Aig, AigError};
 
 use crate::{
     rewrite_dacpara, rewrite_lockstep, rewrite_partition, rewrite_serial, rewrite_static,
-    RewriteConfig, RewriteStats, StaticMode,
+    RewriteConfig, RewriteSession, RewriteStats, StaticMode,
 };
 
 /// Which rewriting engine to run (one per comparison column of the paper).
@@ -36,7 +36,8 @@ impl Engine {
         Engine::Partition,
     ];
 
-    /// Short name used in reports.
+    /// Short name used in reports. [`Engine::from_str`] parses every name
+    /// this returns, so `Engine::from_str(e.name()) == Ok(e)`.
     pub fn name(self) -> &'static str {
         match self {
             Engine::AbcRewrite => "abc-rewrite",
@@ -47,6 +48,12 @@ impl Engine {
             Engine::Partition => "partition-fpga17",
         }
     }
+
+    /// Comma-separated list of every engine name, for CLI help text.
+    pub fn help_list() -> String {
+        let names: Vec<&str> = Engine::ALL.iter().map(|e| e.name()).collect();
+        names.join(", ")
+    }
 }
 
 impl std::fmt::Display for Engine {
@@ -55,11 +62,54 @@ impl std::fmt::Display for Engine {
     }
 }
 
-/// Runs one engine over the graph, in place.
+/// An engine name [`Engine::from_str`] did not recognize.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseEngineError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseEngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown engine {:?} (expected one of: {})",
+            self.input,
+            Engine::help_list()
+        )
+    }
+}
+
+impl std::error::Error for ParseEngineError {}
+
+impl std::str::FromStr for Engine {
+    type Err = ParseEngineError;
+
+    /// Parses a canonical [`Engine::name`], or one of the short aliases the
+    /// `rewrite` binary has historically accepted (`abc`, `dac22`, `tcad23`,
+    /// `partition`).
+    fn from_str(s: &str) -> Result<Engine, ParseEngineError> {
+        if let Some(&e) = Engine::ALL.iter().find(|e| e.name() == s) {
+            return Ok(e);
+        }
+        match s {
+            "abc" => Ok(Engine::AbcRewrite),
+            "dac22" => Ok(Engine::Dac22),
+            "tcad23" => Ok(Engine::Tcad23),
+            "partition" => Ok(Engine::Partition),
+            _ => Err(ParseEngineError { input: s.into() }),
+        }
+    }
+}
+
+/// Runs one engine over the graph, in place. Every engine takes exactly
+/// `(aig, cfg)` — engine-specific knobs (like the partition engine's region
+/// count) live in [`RewriteConfig`].
 ///
 /// # Errors
 ///
-/// Returns [`AigError::CapacityExhausted`] from the concurrent engines when
+/// Returns the [`crate::ConfigError`] (mapped through [`AigError`]) if `cfg`
+/// fails [`RewriteConfig::validate`], or
+/// [`AigError::CapacityExhausted`] from the concurrent engines when
 /// [`RewriteConfig::headroom`] is too small.
 ///
 /// # Example
@@ -78,14 +128,15 @@ pub fn run_engine(
     engine: Engine,
     cfg: &RewriteConfig,
 ) -> Result<RewriteStats, AigError> {
+    cfg.validate()?;
     let _obs = dacpara_obs::span!("run_engine", engine = engine.name());
     match engine {
-        Engine::AbcRewrite => Ok(rewrite_serial(aig, cfg)),
+        Engine::AbcRewrite => rewrite_serial(aig, cfg),
         Engine::Iccad18 => rewrite_lockstep(aig, cfg),
         Engine::Dac22 => rewrite_static(aig, cfg, StaticMode::Conditional),
         Engine::Tcad23 => rewrite_static(aig, cfg, StaticMode::Unconditional),
         Engine::DacPara => rewrite_dacpara(aig, cfg),
-        Engine::Partition => rewrite_partition(aig, cfg, cfg.threads.max(1) * 2),
+        Engine::Partition => rewrite_partition(aig, cfg),
     }
 }
 
@@ -95,6 +146,12 @@ pub fn run_engine(
 /// Logic rewriting is locally optimal, so real flows apply it several times
 /// (§1 of the paper: "logic rewriting techniques are often applied many
 /// times for optimization due to its local optimality").
+///
+/// [`Engine::DacPara`] and [`Engine::Iccad18`] run on one
+/// [`crate::RewriteSession`]: the arena, cut memo, lock table and candidate
+/// storage are allocated once, and every pass after the first visits only
+/// the nodes the previous pass dirtied (see
+/// [`RewriteStats::clean_skipped`]).
 ///
 /// # Errors
 ///
@@ -122,12 +179,28 @@ pub fn optimize(
     max_passes: usize,
 ) -> Result<Vec<RewriteStats>, AigError> {
     let mut all = Vec::new();
-    for _ in 0..max_passes.max(1) {
-        let stats = run_engine(aig, engine, cfg)?;
-        let improved = stats.area_reduction() > 0;
-        all.push(stats);
-        if !improved {
-            break;
+    match engine {
+        Engine::DacPara | Engine::Iccad18 => {
+            let mut session = RewriteSession::new(aig, cfg)?;
+            for _ in 0..max_passes.max(1) {
+                let stats = session.run(engine)?;
+                let improved = stats.area_reduction() > 0;
+                all.push(stats);
+                if session.converged() || !improved {
+                    break;
+                }
+            }
+            *aig = session.finish();
+        }
+        Engine::AbcRewrite | Engine::Dac22 | Engine::Tcad23 | Engine::Partition => {
+            for _ in 0..max_passes.max(1) {
+                let stats = run_engine(aig, engine, cfg)?;
+                let improved = stats.area_reduction() > 0;
+                all.push(stats);
+                if !improved {
+                    break;
+                }
+            }
         }
     }
     Ok(all)
@@ -212,5 +285,35 @@ mod tests {
     fn engine_names_are_distinct() {
         let names: std::collections::HashSet<_> = Engine::ALL.iter().map(|e| e.name()).collect();
         assert_eq!(names.len(), Engine::ALL.len());
+    }
+
+    #[test]
+    fn engine_names_round_trip_through_from_str() {
+        for e in Engine::ALL {
+            assert_eq!(e.name().parse(), Ok(e));
+        }
+        // Historical CLI aliases stay accepted.
+        assert_eq!("abc".parse(), Ok(Engine::AbcRewrite));
+        assert_eq!("dac22".parse(), Ok(Engine::Dac22));
+        assert_eq!("tcad23".parse(), Ok(Engine::Tcad23));
+        assert_eq!("partition".parse(), Ok(Engine::Partition));
+        let err = "no-such-engine".parse::<Engine>().unwrap_err();
+        assert!(err.to_string().contains("dacpara"), "{err}");
+        for e in Engine::ALL {
+            assert!(Engine::help_list().contains(e.name()));
+        }
+    }
+
+    #[test]
+    fn run_engine_validates_config() {
+        let mut aig = control::voter(11);
+        let bad = RewriteConfig {
+            runs: 0,
+            ..RewriteConfig::rewrite_op()
+        };
+        for engine in Engine::ALL {
+            let err = run_engine(&mut aig, engine, &bad).unwrap_err();
+            assert!(err.to_string().contains("invalid configuration"));
+        }
     }
 }

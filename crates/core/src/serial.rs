@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use dacpara_aig::mffc::mffc_with_cut;
-use dacpara_aig::{Aig, AigRead};
+use dacpara_aig::{Aig, AigError, AigRead};
 use dacpara_cut::CutStore;
 
 use crate::eval::{build_replacement, evaluate_node, EvalContext};
@@ -19,6 +19,14 @@ use crate::{RewriteConfig, RewriteStats};
 /// Runs the serial rewriting pass (possibly multiple runs, per
 /// [`RewriteConfig::runs`]) and reports statistics.
 ///
+/// # Errors
+///
+/// The serial engine itself cannot fail (its arena grows on demand), but it
+/// returns `Result` like every other engine so `run_engine` and session
+/// flows need no special case. The only current error source is
+/// replacement-builder arena exhaustion, which the growable serial [`Aig`]
+/// never triggers.
+///
 /// # Example
 ///
 /// ```
@@ -26,11 +34,12 @@ use crate::{RewriteConfig, RewriteStats};
 /// use dacpara_circuits::arith;
 ///
 /// let mut aig = arith::multiplier(6);
-/// let stats = rewrite_serial(&mut aig, &RewriteConfig::rewrite_op());
+/// let stats = rewrite_serial(&mut aig, &RewriteConfig::rewrite_op())?;
 /// assert!(stats.area_after <= stats.area_before);
 /// aig.check().expect("rewriting keeps the graph sound");
+/// # Ok::<(), dacpara_aig::AigError>(())
 /// ```
-pub fn rewrite_serial(aig: &mut Aig, cfg: &RewriteConfig) -> RewriteStats {
+pub fn rewrite_serial(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStats, AigError> {
     let start = Instant::now();
     let _pass_span = dacpara_obs::span("rewrite_serial");
     let ctx = EvalContext::new(cfg);
@@ -55,6 +64,7 @@ pub fn rewrite_serial(aig: &mut Aig, cfg: &RewriteConfig) -> RewriteStats {
             };
             let cand = {
                 let _obs = dacpara_obs::span("evaluate");
+                stats.evaluations += 1;
                 evaluate_node(aig, n, &cuts, &ctx)
             };
             let Some(cand) = cand else {
@@ -68,8 +78,7 @@ pub fn rewrite_serial(aig: &mut Aig, cfg: &RewriteConfig) -> RewriteStats {
                 store.invalidate(f);
             }
             store.invalidate_tfo(aig, n);
-            let root = build_replacement(aig, &cand, ctx.lib)
-                .expect("the serial builder cannot exhaust an arena");
+            let root = build_replacement(aig, &cand, ctx.lib)?;
             if root.node() != n {
                 aig.replace(n, root);
                 stats.replacements += 1;
@@ -83,7 +92,7 @@ pub fn rewrite_serial(aig: &mut Aig, cfg: &RewriteConfig) -> RewriteStats {
     stats.area_after = aig.num_ands();
     stats.delay_after = aig.depth();
     stats.time = start.elapsed();
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -117,7 +126,7 @@ mod tests {
     fn rewrites_a_multiplier_soundly() {
         let mut aig = arith::multiplier(6);
         let golden = aig.clone();
-        let stats = rewrite_serial(&mut aig, &cfg());
+        let stats = rewrite_serial(&mut aig, &cfg()).unwrap();
         aig.check().unwrap();
         assert!(stats.area_after <= stats.area_before);
         assert_equiv(&golden, &aig);
@@ -127,7 +136,7 @@ mod tests {
     fn reduces_redundant_voter() {
         let mut aig = control::voter(15);
         let golden = aig.clone();
-        let stats = rewrite_serial(&mut aig, &cfg());
+        let stats = rewrite_serial(&mut aig, &cfg()).unwrap();
         aig.check().unwrap();
         assert!(
             stats.area_reduction() > 0,
@@ -146,7 +155,7 @@ mod tests {
             seed: 3,
         });
         let golden = aig.clone();
-        let stats = rewrite_serial(&mut aig, &cfg());
+        let stats = rewrite_serial(&mut aig, &cfg()).unwrap();
         aig.check().unwrap();
         assert!(
             stats.delay_after <= stats.delay_before,
@@ -159,9 +168,9 @@ mod tests {
     #[test]
     fn second_run_changes_little() {
         let mut aig = arith::adder(10);
-        rewrite_serial(&mut aig, &cfg());
+        rewrite_serial(&mut aig, &cfg()).unwrap();
         let after_one = aig.num_ands();
-        let stats = rewrite_serial(&mut aig, &cfg());
+        let stats = rewrite_serial(&mut aig, &cfg()).unwrap();
         assert!(
             stats.area_reduction() * 10 <= after_one,
             "rewriting should be near a fixpoint: {}",
@@ -175,7 +184,7 @@ mod tests {
         let golden = aig.clone();
         let mut c = cfg();
         c.use_zeros = true;
-        rewrite_serial(&mut aig, &c);
+        rewrite_serial(&mut aig, &c).unwrap();
         aig.check().unwrap();
         assert_equiv(&golden, &aig);
     }

@@ -209,7 +209,7 @@ mod tests {
             })
         };
         let mut dynamic = gen();
-        let dyn_stats = crate::rewrite_serial(&mut dynamic, &cfg());
+        let dyn_stats = crate::rewrite_serial(&mut dynamic, &cfg()).unwrap();
         let mut static_ = gen();
         let sta_stats = rewrite_static(&mut static_, &cfg(), StaticMode::Unconditional).unwrap();
         assert!(

@@ -27,6 +27,14 @@ pub struct RewriteStats {
     pub stale_skipped: u64,
     /// Nodes whose stored cut was revalidated by re-enumeration.
     pub revalidated: u64,
+    /// Candidate evaluations performed (stage-2 `evaluate_node` calls). A
+    /// converged incremental pass reports zero — its evaluate stage never
+    /// ran.
+    pub evaluations: u64,
+    /// Live AND nodes skipped because a session's dirty-set proved their
+    /// neighborhood unchanged since the previous pass (incremental passes
+    /// only; zero for fresh-state passes).
+    pub clean_skipped: u64,
     /// Speculative-execution counters (conflicts/aborts/wasted work).
     pub spec: SpecSnapshot,
     /// Number of level worklists processed (DACPara only).
@@ -54,7 +62,7 @@ impl RewriteStats {
     /// One summary line for logs.
     pub fn summary(&self) -> String {
         format!(
-            "{}: {:.3}s area {} -> {} (-{}, {:.2}%) delay {} -> {} repl {} [{}]",
+            "{}: {:.3}s area {} -> {} (-{}, {:.2}%) delay {} -> {} repl {} eval {} clean-skip {} [{}]",
             self.engine,
             self.time.as_secs_f64(),
             self.area_before,
@@ -64,6 +72,8 @@ impl RewriteStats {
             self.delay_before,
             self.delay_after,
             self.replacements,
+            self.evaluations,
+            self.clean_skipped,
             self.spec,
         )
     }

@@ -1,0 +1,82 @@
+//! Acceptance check for incremental session passes, through the obs layer:
+//! the second pass of a session flow must re-enumerate at most half of what
+//! the first pass did (the long-lived cut memo and the dirty-set
+//! restriction are doing real work), and a converged pass must not evaluate
+//! anything at all — every live node shows up in `session.clean_skipped`.
+//!
+//! Lives in its own integration-test file (= its own process) because it
+//! drives the process-global registry; keep it to a single `#[test]`.
+
+use dacpara::{Engine, RewriteConfig, RewriteSession};
+use dacpara_aig::AigRead;
+use dacpara_circuits::arith;
+
+#[test]
+fn second_pass_reuses_first_pass_work() {
+    dacpara_obs::reset();
+    dacpara_obs::enable();
+
+    let aig = arith::adder(10);
+    let cfg = RewriteConfig {
+        num_classes: 222,
+        ..RewriteConfig::rewrite_op()
+    };
+    let misses = || dacpara_obs::counter("cut.memo_misses").value();
+    let clean = || dacpara_obs::counter("session.clean_skipped").value();
+
+    let mut sess = RewriteSession::new(&aig, &cfg).unwrap();
+    let first = sess.run(Engine::DacPara).unwrap();
+    let first_misses = misses();
+    let second = sess.run(Engine::DacPara).unwrap();
+    let second_misses = misses() - first_misses;
+
+    assert!(
+        first.evaluations > 0,
+        "first pass evaluates the whole graph"
+    );
+    assert_eq!(first.clean_skipped, 0, "first pass has nothing to skip");
+    assert!(first.replacements > 0, "the run must actually rewrite");
+    assert!(
+        second_misses * 2 <= first_misses,
+        "pass 2 re-enumerated {second_misses} cuts vs {first_misses} in \
+         pass 1; the reused memo must at least halve enumeration work"
+    );
+    assert!(
+        second.evaluations < first.evaluations,
+        "the dirty set must shrink the evaluate-stage worklist"
+    );
+
+    // Drive to the fixpoint: the converged pass skips every live AND node
+    // and runs no evaluation at all.
+    let mut total_evals = first.evaluations + second.evaluations;
+    let mut last = second;
+    for _ in 0..8 {
+        if sess.converged() {
+            break;
+        }
+        last = sess.run(Engine::DacPara).unwrap();
+        total_evals += last.evaluations;
+    }
+    assert!(sess.converged(), "adder converges quickly: {last}");
+    let clean_before_fix = clean();
+    let fix = sess.run(Engine::DacPara).unwrap();
+    assert_eq!(fix.evaluations, 0, "converged pass must not evaluate");
+    assert!(fix.clean_skipped > 0, "every live node is skipped as clean");
+    assert_eq!(
+        clean() - clean_before_fix,
+        fix.clean_skipped,
+        "the obs counter and RewriteStats must agree on skipped nodes"
+    );
+
+    // The aggregated obs view of evaluations matches the per-pass totals
+    // (the fixpoint pass contributes zero).
+    assert_eq!(
+        dacpara_obs::counter("rewrite.evaluations").value(),
+        total_evals
+    );
+
+    dacpara_obs::disable();
+    let out = sess.finish();
+    out.check().unwrap();
+    assert_eq!(out.num_ands(), fix.area_after);
+}

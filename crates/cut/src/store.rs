@@ -11,6 +11,7 @@
 //! explicit invalidation was missed — the second line of defense behind the
 //! stored-cut validity protocol of §4.4.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use dacpara_aig::{AigRead, NodeId, NodeKind};
@@ -59,6 +60,13 @@ type Slot = RwLock<Option<(u32, Arc<CutSet>)>>;
 pub struct CutStore {
     slots: Vec<Slot>,
     cfg: CutConfig,
+    /// Per-slot dirty flags, maintained only while [`CutStore::set_dirty_tracking`]
+    /// is on. A dirty node is one whose stored cuts *or* whose evaluation
+    /// inputs (reference counts, shareable structures nearby) may have
+    /// changed since the flags were last drained — the seed of the
+    /// incremental worklists in `dacpara-core`'s `RewriteSession`.
+    dirty: Vec<AtomicBool>,
+    track_dirty: AtomicBool,
 }
 
 impl CutStore {
@@ -67,6 +75,8 @@ impl CutStore {
         CutStore {
             slots: (0..capacity).map(|_| RwLock::new(None)).collect(),
             cfg,
+            dirty: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
+            track_dirty: AtomicBool::new(false),
         }
     }
 
@@ -80,6 +90,7 @@ impl CutStore {
     pub fn grow(&mut self, capacity: usize) {
         while self.slots.len() < capacity {
             self.slots.push(RwLock::new(None));
+            self.dirty.push(AtomicBool::new(false));
         }
     }
 
@@ -175,7 +186,12 @@ impl CutStore {
     }
 
     /// Clears the cached set of `n`; returns whether one was present.
+    ///
+    /// Under dirty tracking the node is also marked dirty (§4.4: an
+    /// invalidated enumeration result must be recomputed — and, across
+    /// passes, the node must be revisited).
     pub fn invalidate(&self, n: NodeId) -> bool {
+        self.mark_dirty(n);
         self.slots[n.index()].write().take().is_some()
     }
 
@@ -205,6 +221,85 @@ impl CutStore {
         for s in &self.slots {
             *s.write() = None;
         }
+    }
+
+    /// Resets the store for a fresh graph while preserving its slot
+    /// allocation: every cached set and every dirty flag is dropped, the
+    /// tracking switch is left untouched. Used by `RewriteSession` when it
+    /// re-syncs to an externally mutated graph (the memo keys — node ids —
+    /// are renumbered, so nothing cached can be trusted).
+    pub fn reset(&self) {
+        self.clear();
+        for d in &self.dirty {
+            d.store(false, Ordering::Relaxed);
+        }
+    }
+
+    // ---- Dirty tracking -------------------------------------------------
+
+    /// Turns dirty tracking on or off. Off (the default) makes every
+    /// marking call a no-op, so the one-shot engines pay nothing.
+    pub fn set_dirty_tracking(&self, on: bool) {
+        self.track_dirty.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether dirty tracking is currently enabled.
+    pub fn dirty_tracking(&self) -> bool {
+        self.track_dirty.load(Ordering::Relaxed)
+    }
+
+    /// Marks `n` dirty without touching its cached set (used for nodes
+    /// whose *gain* inputs — reference counts, sharing opportunities —
+    /// changed while their cut structure did not).
+    pub fn mark_dirty(&self, n: NodeId) {
+        if self.track_dirty.load(Ordering::Relaxed) {
+            self.dirty[n.index()].store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks `n` and its transitive fanouts dirty without clearing cached
+    /// sets, short-circuiting on nodes already marked (their fanout cone
+    /// was walked when they were marked, or is covered by a concurrent
+    /// walk). Cached cuts stay valid — only the evaluation verdict is
+    /// suspect — which is what keeps incremental passes memo-hot.
+    pub fn mark_dirty_tfo<V: AigRead + ?Sized>(&self, view: &V, n: NodeId) {
+        if !self.track_dirty.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            if self.dirty[x.index()].swap(true, Ordering::Relaxed) {
+                continue; // already marked: its fanouts were covered
+            }
+            for f in view.fanout_ids(x) {
+                stack.push(f);
+            }
+        }
+    }
+
+    /// Whether `n` is currently marked dirty.
+    pub fn is_dirty(&self, n: NodeId) -> bool {
+        self.dirty[n.index()].load(Ordering::Relaxed)
+    }
+
+    /// Number of slots currently marked dirty.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty
+            .iter()
+            .filter(|d| d.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Returns every dirty slot (ascending ids) and clears the flags —
+    /// the hand-over point between one rewriting pass and the next.
+    pub fn drain_dirty(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for (i, d) in self.dirty.iter().enumerate() {
+            if d.swap(false, Ordering::Relaxed) {
+                out.push(NodeId::new(i as u32));
+            }
+        }
+        out
     }
 }
 
@@ -293,6 +388,57 @@ mod tests {
         let mut store = CutStore::new(4, CutConfig::unlimited());
         store.grow(aig.slot_count());
         assert!(store.capacity() >= aig.slot_count());
+    }
+
+    #[test]
+    fn dirty_tracking_is_opt_in() {
+        let (aig, lits) = chain();
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let top = lits.last().unwrap().node();
+        store.cuts(&aig, top);
+        // Off by default: invalidation marks nothing.
+        store.invalidate_tfo(&aig, lits[0].node());
+        assert_eq!(store.dirty_count(), 0);
+        // On: invalidation marks the cleared cone.
+        store.cuts(&aig, top);
+        store.set_dirty_tracking(true);
+        store.invalidate_tfo(&aig, lits[0].node());
+        assert!(store.is_dirty(lits[0].node()));
+        assert!(store.is_dirty(top));
+        let drained = store.drain_dirty();
+        assert_eq!(drained.len(), lits.len());
+        assert_eq!(store.dirty_count(), 0);
+    }
+
+    #[test]
+    fn mark_dirty_tfo_keeps_cached_sets() {
+        let (aig, lits) = chain();
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let top = lits.last().unwrap().node();
+        store.cuts(&aig, top);
+        store.set_dirty_tracking(true);
+        store.mark_dirty_tfo(&aig, lits[0].node());
+        // Every node upward is marked, but the memo entries survive.
+        for l in &lits {
+            assert!(store.is_dirty(l.node()));
+            assert!(store.get(&aig, l.node()).is_some());
+        }
+    }
+
+    #[test]
+    fn reset_preserves_capacity_and_clears_everything() {
+        let (aig, lits) = chain();
+        let store = CutStore::new(aig.slot_count(), CutConfig::unlimited());
+        let top = lits.last().unwrap().node();
+        store.cuts(&aig, top);
+        store.set_dirty_tracking(true);
+        store.mark_dirty(top);
+        let cap = store.capacity();
+        store.reset();
+        assert_eq!(store.capacity(), cap);
+        assert_eq!(store.cached_count(), 0);
+        assert_eq!(store.dirty_count(), 0);
+        assert!(store.dirty_tracking(), "reset keeps the tracking switch");
     }
 
     #[test]

@@ -142,6 +142,17 @@ impl SpecStats {
             .fetch_add(other.useful_ns(), Ordering::Relaxed);
     }
 
+    /// Adds a plain-value snapshot (typically a [`SpecSnapshot::since`]
+    /// delta) into these counters. Like [`SpecStats::merge`], emits no
+    /// observability events.
+    pub fn merge_snapshot(&self, snap: &SpecSnapshot) {
+        self.conflicts.fetch_add(snap.conflicts, Ordering::Relaxed);
+        self.commits.fetch_add(snap.commits, Ordering::Relaxed);
+        self.aborts.fetch_add(snap.aborts, Ordering::Relaxed);
+        self.wasted_ns.fetch_add(snap.wasted_ns, Ordering::Relaxed);
+        self.useful_ns.fetch_add(snap.useful_ns, Ordering::Relaxed);
+    }
+
     /// Plain-value snapshot for reporting.
     pub fn snapshot(&self) -> SpecSnapshot {
         SpecSnapshot {
@@ -170,6 +181,19 @@ pub struct SpecSnapshot {
 }
 
 impl SpecSnapshot {
+    /// The counters accumulated since `baseline` was taken (saturating).
+    /// Lets a long-lived [`crate::LockTable`] report per-pass deltas
+    /// without double-counting earlier passes.
+    pub fn since(&self, baseline: &SpecSnapshot) -> SpecSnapshot {
+        SpecSnapshot {
+            conflicts: self.conflicts.saturating_sub(baseline.conflicts),
+            commits: self.commits.saturating_sub(baseline.commits),
+            aborts: self.aborts.saturating_sub(baseline.aborts),
+            wasted_ns: self.wasted_ns.saturating_sub(baseline.wasted_ns),
+            useful_ns: self.useful_ns.saturating_sub(baseline.useful_ns),
+        }
+    }
+
     /// Fraction of operator time discarded.
     pub fn wasted_fraction(&self) -> f64 {
         let total = (self.wasted_ns + self.useful_ns) as f64;

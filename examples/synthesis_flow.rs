@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Serial baseline (ABC `rewrite`).
     let mut serial = golden.clone();
-    let s = rewrite_serial(&mut serial, &RewriteConfig::rewrite_op());
+    let s = rewrite_serial(&mut serial, &RewriteConfig::rewrite_op())?;
     println!("serial : {s}");
 
     // DACPara with two threads.
