@@ -4,6 +4,7 @@
 //! ```text
 //! rewrite [--engine NAME] [--threads N] [--passes N]
 //!         [--runs N] [--zeros] [--classes 134|222] [--check]
+//!         [--scheduler steal|barrier]
 //!         [--trace FILE.json] [--metrics FILE.jsonl]
 //!         [--in FILE.{aag,aig,blif}|--bench NAME[:scale]]
 //!         [--out FILE.{aag,aig,blif,v,dot}]
@@ -14,7 +15,10 @@
 //! applies the engine up to `N` times via [`dacpara::optimize`]; for
 //! `dacpara` and `iccad18` the passes share one `RewriteSession`, so later
 //! passes revisit only the nodes earlier passes dirtied and a converged
-//! pass returns immediately.
+//! pass returns immediately. `--scheduler` picks the worklist scheduler of
+//! those two Galois engines: `steal` (default) work-steals and retries
+//! conflict-aborted commits within the pass, `barrier` is the historical
+//! shared-cursor scheme.
 //!
 //! Observability flags (see `docs/ARCHITECTURE.md`, "Observability"):
 //!
@@ -94,6 +98,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--classes" => {
                 cfg.num_classes = parse_num("--classes", it.next())?;
+            }
+            "--scheduler" => {
+                let name = it.next().ok_or("--scheduler needs `steal` or `barrier`")?;
+                cfg.scheduler = name.parse().map_err(|e| format!("{e}"))?;
             }
             "--zeros" => cfg.use_zeros = true,
             "--check" => check = true,
@@ -203,6 +211,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: rewrite [--engine NAME] [--threads N] [--passes N] \
                  [--runs N] [--zeros] [--classes 134|222] [--check] \
+                 [--scheduler steal|barrier] \
                  [--trace FILE.json] [--metrics FILE.jsonl] \
                  (--in FILE.aag | --bench NAME[:test|small|medium]) [--out FILE.aag]"
             );

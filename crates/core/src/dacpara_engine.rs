@@ -25,15 +25,18 @@ use std::time::Instant;
 use dacpara_aig::concurrent::ConcurrentAig;
 use dacpara_aig::{Aig, AigError, AigRead, NodeId};
 use dacpara_cut::CutStore;
-use dacpara_galois::{chunk_size, run_spmd, LockTable, SpecStats, WorkQueue};
+use dacpara_galois::{
+    chunk_size, run_spmd, ItemOutcome, LockTable, SpecStats, StealPool, WorkQueue,
+    MAX_SCHED_RETRIES,
+};
 use dacpara_npn::canon;
 use parking_lot::Mutex;
 
 use crate::eval::{build_replacement, evaluate_node, reevaluate_structure, Candidate, EvalContext};
-use crate::lockstep::backoff;
+use crate::lockstep::{backoff, RetryPolicy};
 use crate::session::RewriteSession;
 use crate::validity::{cut_cover, verify_cut};
-use crate::{Engine, RewriteConfig, RewriteStats};
+use crate::{Engine, RewriteConfig, RewriteStats, SchedulerKind};
 
 /// Atomic counters shared by the replacement operators.
 #[derive(Default)]
@@ -42,6 +45,18 @@ struct Counters {
     stale_skipped: AtomicU64,
     revalidated: AtomicU64,
     evaluations: AtomicU64,
+}
+
+/// What one replacement activity did.
+enum ReplaceOutcome {
+    /// The activity completed — a replacement committed, the stored result
+    /// was skipped as stale, or the rebuild was a no-op. The node must not
+    /// be scheduled again this round.
+    Finished,
+    /// Aborted on a lock conflict under [`RetryPolicy::Yield`]. The stored
+    /// candidate is handed back so the scheduler can re-enqueue the node
+    /// and the retry can revalidate it against the then-current graph.
+    Conflict(Candidate),
 }
 
 /// Runs the DACPara pass.
@@ -86,6 +101,10 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
     let lock_base = sess.locks.stats().snapshot();
     let counters = Counters::default();
     let stage_ns = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+    let pool = match sess.cfg.scheduler {
+        SchedulerKind::Steal => Some(StealPool::new(sess.cfg.threads)),
+        SchedulerKind::Barrier => None,
+    };
     let mut worked = false;
 
     for _ in 0..sess.cfg.runs.max(1) {
@@ -118,6 +137,9 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
         } else {
             worklists.push(work);
         }
+        // Level 0 holds no AND nodes and sparse dirty sets leave gaps;
+        // empty lists have no chunk size and would only burn barriers.
+        worklists.retain(|l| !l.is_empty());
         stats.worklists += worklists.len();
 
         let queue = WorkQueue::new(0);
@@ -127,6 +149,7 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
         {
             let (queue, error, spec, counters, stage_ns) =
                 (&queue, &error, &spec, &counters, &stage_ns);
+            let pool = pool.as_ref();
             let worklists = &worklists;
             let stage_start = &stage_start;
             run_spmd(cfg.threads, |w| {
@@ -134,7 +157,13 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                 let bail = || error.lock().is_some();
                 let begin_stage = |list_len: usize| {
                     if w.barrier() {
-                        queue.reset(list_len);
+                        // A poisoned pass distributes nothing, but still
+                        // arms the scheduler so its drain invariant holds.
+                        let len = if error.lock().is_some() { 0 } else { list_len };
+                        match pool {
+                            Some(pool) => pool.begin(len),
+                            None => queue.reset(len),
+                        }
                         *stage_start.lock() = Instant::now();
                     }
                     w.barrier();
@@ -154,11 +183,20 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                     begin_stage(list.len());
                     if !bail() {
                         let _obs = dacpara_obs::span("enumerate");
-                        while let Some(range) = queue.next_chunk(chunk) {
-                            for i in range {
-                                let n = list[i];
-                                if shared.is_and(n) && shared.refs(n) > 0 {
-                                    let _ = store.try_cuts(shared, n);
+                        let step = |i: usize| {
+                            let n = list[i];
+                            if shared.is_and(n) && shared.refs(n) > 0 {
+                                let _ = store.try_cuts(shared, n);
+                            }
+                        };
+                        match pool {
+                            Some(pool) => pool.drive(w.id, |i, _| {
+                                step(i);
+                                ItemOutcome::Done
+                            }),
+                            None => {
+                                while let Some(range) = queue.next_chunk(chunk) {
+                                    range.for_each(&step);
                                 }
                             }
                         }
@@ -169,18 +207,27 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                     begin_stage(list.len());
                     if !bail() {
                         let _obs = dacpara_obs::span("evaluate");
-                        while let Some(range) = queue.next_chunk(chunk) {
-                            for i in range {
-                                let n = list[i];
-                                if !shared.is_and(n) || shared.refs(n) == 0 {
-                                    *prep[n.index()].lock() = None;
-                                    continue;
+                        let step = |i: usize| {
+                            let n = list[i];
+                            if !shared.is_and(n) || shared.refs(n) == 0 {
+                                *prep[n.index()].lock() = None;
+                                return;
+                            }
+                            counters.evaluations.fetch_add(1, Ordering::Relaxed);
+                            let cand = store
+                                .try_cuts(shared, n)
+                                .and_then(|cuts| evaluate_node(shared, n, &cuts, ctx));
+                            *prep[n.index()].lock() = cand;
+                        };
+                        match pool {
+                            Some(pool) => pool.drive(w.id, |i, _| {
+                                step(i);
+                                ItemOutcome::Done
+                            }),
+                            None => {
+                                while let Some(range) = queue.next_chunk(chunk) {
+                                    range.for_each(&step);
                                 }
-                                counters.evaluations.fetch_add(1, Ordering::Relaxed);
-                                let cand = store
-                                    .try_cuts(shared, n)
-                                    .and_then(|cuts| evaluate_node(shared, n, &cuts, ctx));
-                                *prep[n.index()].lock() = cand;
                             }
                         }
                     }
@@ -190,16 +237,25 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                     begin_stage(list.len());
                     if !bail() {
                         let _obs = dacpara_obs::span("replace");
-                        while let Some(range) = queue.next_chunk(chunk) {
-                            if bail() {
-                                break;
-                            }
-                            for i in range {
+                        match pool {
+                            // Work stealing: a conflict-aborted commit puts
+                            // its candidate back into `prep` and yields the
+                            // node to the retry queue; the retry ceiling
+                            // eventually forces inline blocking instead.
+                            Some(pool) => pool.drive(w.id, |i, tries| {
+                                if bail() {
+                                    return ItemOutcome::Done;
+                                }
                                 let n = list[i];
                                 let Some(cand) = prep[n.index()].lock().take() else {
-                                    continue;
+                                    return ItemOutcome::Done;
                                 };
-                                if let Err(e) = replace_operator(
+                                let policy = if tries < MAX_SCHED_RETRIES {
+                                    RetryPolicy::Yield
+                                } else {
+                                    RetryPolicy::Block
+                                };
+                                match replace_operator(
                                     shared,
                                     store,
                                     locks,
@@ -210,9 +266,53 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                                     spec,
                                     counters,
                                     cfg.revalidate,
+                                    policy,
+                                    tries,
                                 ) {
-                                    *error.lock() = Some(e);
-                                    break;
+                                    Ok(ReplaceOutcome::Finished) => {
+                                        if tries > 0 {
+                                            pool.stats().record_retry_commit();
+                                        }
+                                        ItemOutcome::Done
+                                    }
+                                    Ok(ReplaceOutcome::Conflict(cand)) => {
+                                        *prep[n.index()].lock() = Some(cand);
+                                        ItemOutcome::Retry
+                                    }
+                                    Err(e) => {
+                                        *error.lock() = Some(e);
+                                        ItemOutcome::Done
+                                    }
+                                }
+                            }),
+                            None => {
+                                while let Some(range) = queue.next_chunk(chunk) {
+                                    if bail() {
+                                        break;
+                                    }
+                                    for i in range {
+                                        let n = list[i];
+                                        let Some(cand) = prep[n.index()].lock().take() else {
+                                            continue;
+                                        };
+                                        if let Err(e) = replace_operator(
+                                            shared,
+                                            store,
+                                            locks,
+                                            ctx,
+                                            n,
+                                            cand,
+                                            owner,
+                                            spec,
+                                            counters,
+                                            cfg.revalidate,
+                                            RetryPolicy::Block,
+                                            0,
+                                        ) {
+                                            *error.lock() = Some(e);
+                                            break;
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -243,6 +343,9 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
     stats.evaluations = counters.evaluations.load(Ordering::Relaxed);
     spec.merge_snapshot(&sess.locks.stats().snapshot().since(&lock_base));
     stats.spec = spec.snapshot();
+    if let Some(pool) = &pool {
+        stats.sched = pool.stats().snapshot();
+    }
     for (i, ns) in stage_ns.iter().enumerate() {
         stats.stage_times[i] = std::time::Duration::from_nanos(ns.load(Ordering::Relaxed));
     }
@@ -255,6 +358,12 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
 }
 
 /// The §4.4 replacement operator for one node.
+///
+/// Every attempt (loop iteration) records exactly one Galois commit or
+/// abort, so `commits + aborts == attempts` holds at quiescence. Under
+/// [`RetryPolicy::Yield`] a lock conflict returns the (unmodified) stored
+/// candidate via [`ReplaceOutcome::Conflict`] instead of spinning; `tries`
+/// is how many times the scheduler has already re-enqueued this node.
 #[allow(clippy::too_many_arguments)]
 fn replace_operator(
     shared: &ConcurrentAig,
@@ -267,14 +376,19 @@ fn replace_operator(
     spec: &SpecStats,
     counters: &Counters,
     revalidate: bool,
-) -> Result<(), AigError> {
+    policy: RetryPolicy,
+    tries: u32,
+) -> Result<ReplaceOutcome, AigError> {
     let mut spins = 0u32;
-    let mut revalidation_counted = false;
+    // A rescheduled node already counted its revalidation on the first try.
+    let mut revalidation_counted = tries > 0;
     loop {
         let attempt = Instant::now();
+        spec.record_attempt();
         if !shared.is_and(n) || shared.refs(n) == 0 {
             counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
-            return Ok(());
+            spec.record_commit(attempt.elapsed());
+            return Ok(ReplaceOutcome::Finished);
         }
 
         // ---- Triage: are the stored leaves untouched (Theorem 1 case)?
@@ -286,7 +400,8 @@ fn replace_operator(
         if !leaves_fresh {
             if !revalidate {
                 counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+                spec.record_commit(attempt.elapsed());
+                return Ok(ReplaceOutcome::Finished);
             }
             if !revalidation_counted {
                 counters.revalidated.fetch_add(1, Ordering::Relaxed);
@@ -298,21 +413,31 @@ fn replace_operator(
             let Some(fresh) = store.try_cuts(shared, n) else {
                 if !shared.is_and(n) {
                     counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
-                    return Ok(());
+                    spec.record_commit(attempt.elapsed());
+                    return Ok(ReplaceOutcome::Finished);
+                }
+                // Someone holds the enumeration generation mid-update: a
+                // conflict like any other lock conflict.
+                spec.record_abort(attempt.elapsed());
+                if policy == RetryPolicy::Yield {
+                    return Ok(ReplaceOutcome::Conflict(cand));
                 }
                 backoff(&mut spins);
                 continue;
             };
             if !fresh.iter().any(|c| c.leaves() == &cand.leaves[..]) {
                 counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
-                return Ok(()); // a missed optimization opportunity (§5.2)
+                spec.record_commit(attempt.elapsed());
+                // A missed optimization opportunity (§5.2).
+                return Ok(ReplaceOutcome::Finished);
             }
         }
 
         // ---- Phase-1 locks: the node, the cut cone, and the fanouts.
         let Some(cover_hint) = cut_cover(shared, n, &cand.leaves) else {
             counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
-            return Ok(());
+            spec.record_commit(attempt.elapsed());
+            return Ok(ReplaceOutcome::Finished);
         };
         let mut region: Vec<u32> = vec![n.raw()];
         region.extend(cand.leaves.iter().map(|l| l.raw()));
@@ -320,6 +445,9 @@ fn replace_operator(
         region.extend(shared.fanout_ids(n).iter().map(|f| f.raw()));
         let Some(guard) = locks.try_acquire(owner, region) else {
             spec.record_abort(attempt.elapsed());
+            if policy == RetryPolicy::Yield {
+                return Ok(ReplaceOutcome::Conflict(cand));
+            }
             backoff(&mut spins);
             continue;
         };
@@ -327,7 +455,8 @@ fn replace_operator(
         // ---- Under locks: recompute the cover and the cut function.
         let Some((cover, tt)) = verify_cut(shared, n, &cand.leaves) else {
             counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
-            return Ok(());
+            spec.record_commit(attempt.elapsed());
+            return Ok(ReplaceOutcome::Finished);
         };
         if cover
             .iter()
@@ -336,29 +465,35 @@ fn replace_operator(
             // The cone shifted between planning and locking — replan.
             drop(guard);
             spec.record_abort(attempt.elapsed());
+            if policy == RetryPolicy::Yield {
+                return Ok(ReplaceOutcome::Conflict(cand));
+            }
             backoff(&mut spins);
             continue;
         }
-        let mut cand = cand.clone();
-        if tt != cand.tt {
+        // The stored candidate stays untouched: a conflict below hands it
+        // back to the scheduler for a fresh revalidation.
+        let mut live = cand.clone();
+        if tt != live.tt {
             // A leaf slot was recycled with different logic (Fig. 3): the
             // stored structure is only reusable if the NPN class matches.
-            if ctx.registry.class_of(tt) != cand.class {
+            if ctx.registry.class_of(tt) != live.class {
                 counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+                spec.record_commit(attempt.elapsed());
+                return Ok(ReplaceOutcome::Finished);
             }
-            cand.tt = tt;
-            cand.transform = canon(tt).1;
+            live.tt = tt;
+            live.transform = canon(tt).1;
         }
 
         // ---- Re-evaluate on the latest AIG: gain must (still) be positive.
-        let re = reevaluate_structure(shared, n, &cand, ctx);
+        let re = reevaluate_structure(shared, n, &live, ctx);
         let gain_ok = re.gain > 0 || (ctx.use_zeros && re.gain >= 0);
         let level_ok = !ctx.preserve_level || re.level <= shared.level(n);
         if !(gain_ok && level_ok) {
             counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
             spec.record_commit(attempt.elapsed());
-            return Ok(());
+            return Ok(ReplaceOutcome::Finished);
         }
 
         // ---- Phase-2 locks: nodes the new structure will share.
@@ -376,6 +511,9 @@ fn replace_operator(
                 None => {
                     drop(guard);
                     spec.record_abort(attempt.elapsed());
+                    if policy == RetryPolicy::Yield {
+                        return Ok(ReplaceOutcome::Conflict(cand));
+                    }
                     backoff(&mut spins);
                     continue;
                 }
@@ -387,7 +525,7 @@ fn replace_operator(
         // the no-op check would re-dirty n's fanout cone every pass and a
         // session could never converge. The TFO walk must still precede
         // `replace_locked`, which moves n's fanouts.
-        let root = build_replacement(&mut &*shared, &cand, ctx.lib)?;
+        let root = build_replacement(&mut &*shared, &live, ctx.lib)?;
         if root.node() != n {
             for &f in &re.freed {
                 store.invalidate(f);
@@ -398,7 +536,7 @@ fn replace_operator(
             // Everything whose evaluation could have changed — the cone
             // interior, the new structure, shared nodes, and all downstream
             // users — lies in the transitive fanout of the cut leaves.
-            for &l in &cand.leaves {
+            for &l in &live.leaves {
                 store.mark_dirty_tfo(shared, l);
             }
             if dacpara_obs::is_enabled() {
@@ -406,7 +544,7 @@ fn replace_operator(
             }
         }
         spec.record_commit(attempt.elapsed());
-        return Ok(());
+        return Ok(ReplaceOutcome::Finished);
     }
 }
 

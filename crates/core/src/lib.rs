@@ -41,7 +41,7 @@ mod static_info;
 mod stats;
 pub mod validity;
 
-pub use config::{ConfigError, RewriteConfig};
+pub use config::{ConfigError, ParseSchedulerError, RewriteConfig, SchedulerKind};
 pub use dacpara_engine::rewrite_dacpara;
 pub use eval::{
     build_replacement, evaluate_cut, evaluate_node, reevaluate_structure, AndBuilder, Candidate,

@@ -13,13 +13,16 @@ use std::time::Instant;
 use dacpara_aig::concurrent::ConcurrentAig;
 use dacpara_aig::{Aig, AigError, AigRead, NodeId};
 use dacpara_cut::CutStore;
-use dacpara_galois::{chunk_size, run_spmd, LockTable, SpecStats, WorkQueue};
+use dacpara_galois::{
+    chunk_size, run_spmd, ItemOutcome, LockTable, SpecStats, StealPool, WorkQueue,
+    MAX_SCHED_RETRIES,
+};
 use parking_lot::Mutex;
 
 use crate::eval::{build_replacement, evaluate_node, reevaluate_structure, EvalContext};
 use crate::session::RewriteSession;
 use crate::validity::{cut_cover, verify_cut};
-use crate::{Engine, RewriteConfig, RewriteStats};
+use crate::{Engine, RewriteConfig, RewriteStats, SchedulerKind};
 
 /// Spin-then-yield backoff between speculative retries.
 pub(crate) fn backoff(spins: &mut u32) {
@@ -29,6 +32,32 @@ pub(crate) fn backoff(spins: &mut u32) {
     } else {
         std::thread::yield_now();
     }
+}
+
+/// How an operator responds to a speculative lock conflict.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum RetryPolicy {
+    /// Spin-retry inline until the activity completes — the barrier
+    /// scheduler's behavior, and the steal scheduler's guaranteed-progress
+    /// fallback once an item has burned [`MAX_SCHED_RETRIES`] reschedules.
+    Block,
+    /// Hand the conflict back to the scheduler: the activity is re-enqueued
+    /// on its worker's retry queue with backoff and the worker moves on to
+    /// other items while the contended region clears.
+    Yield,
+}
+
+/// What one combined-operator activity did.
+enum CombinedOutcome {
+    /// Committed an actual replacement.
+    Replaced,
+    /// Completed without changing the graph (stale skip, no valid cut, no
+    /// positive gain, or a no-op rebuild).
+    Finished,
+    /// Aborted on a lock conflict under [`RetryPolicy::Yield`]; nothing is
+    /// carried over — a retry recomputes enumeration and evaluation from
+    /// scratch, exactly the waste the paper's Fig. 2 charges this scheme.
+    Conflict,
 }
 
 /// Runs the combined-operator parallel rewriting pass.
@@ -58,6 +87,10 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
     let spec = SpecStats::new();
     let lock_base = sess.locks.stats().snapshot();
     let evaluations = AtomicU64::new(0);
+    let pool = match sess.cfg.scheduler {
+        SchedulerKind::Steal => Some(StealPool::new(sess.cfg.threads)),
+        SchedulerKind::Barrier => None,
+    };
     let mut worked = false;
 
     for _ in 0..sess.cfg.runs.max(1) {
@@ -77,13 +110,25 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
         {
             let (order, queue, error, replacements, spec, evaluations) =
                 (&order, &queue, &error, &replacements, &spec, &evaluations);
+            let pool = pool.as_ref();
+            if let Some(pool) = pool {
+                pool.begin(order.len());
+            }
             run_spmd(cfg.threads, |w| {
                 let owner = w.id as u32 + 1;
-                while let Some(range) = queue.next_chunk(chunk) {
-                    if error.lock().is_some() {
-                        return;
-                    }
-                    for i in range {
+                match pool {
+                    // Work stealing: a conflict-aborted operator yields the
+                    // item back to the scheduler instead of spin-retrying
+                    // inline, until the retry ceiling forces it to block.
+                    Some(pool) => pool.drive(w.id, |i, tries| {
+                        if error.lock().is_some() {
+                            return ItemOutcome::Done;
+                        }
+                        let policy = if tries < MAX_SCHED_RETRIES {
+                            RetryPolicy::Yield
+                        } else {
+                            RetryPolicy::Block
+                        };
                         match combined_operator(
                             shared,
                             store,
@@ -93,14 +138,50 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                             owner,
                             spec,
                             evaluations,
+                            policy,
                         ) {
-                            Ok(true) => {
-                                replacements.fetch_add(1, Ordering::Relaxed);
+                            Ok(CombinedOutcome::Conflict) => ItemOutcome::Retry,
+                            Ok(out) => {
+                                if matches!(out, CombinedOutcome::Replaced) {
+                                    replacements.fetch_add(1, Ordering::Relaxed);
+                                }
+                                if tries > 0 {
+                                    pool.stats().record_retry_commit();
+                                }
+                                ItemOutcome::Done
                             }
-                            Ok(false) => {}
                             Err(e) => {
                                 *error.lock() = Some(e);
+                                ItemOutcome::Done
+                            }
+                        }
+                    }),
+                    None => {
+                        while let Some(range) = queue.next_chunk(chunk) {
+                            if error.lock().is_some() {
                                 return;
+                            }
+                            for i in range {
+                                match combined_operator(
+                                    shared,
+                                    store,
+                                    locks,
+                                    ctx,
+                                    order[i],
+                                    owner,
+                                    spec,
+                                    evaluations,
+                                    RetryPolicy::Block,
+                                ) {
+                                    Ok(CombinedOutcome::Replaced) => {
+                                        replacements.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Ok(_) => {}
+                                    Err(e) => {
+                                        *error.lock() = Some(e);
+                                        return;
+                                    }
+                                }
                             }
                         }
                     }
@@ -120,14 +201,19 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
     stats.evaluations = evaluations.load(Ordering::Relaxed);
     spec.merge_snapshot(&sess.locks.stats().snapshot().since(&lock_base));
     stats.spec = spec.snapshot();
+    if let Some(pool) = &pool {
+        stats.sched = pool.stats().snapshot();
+    }
     stats.time = start.elapsed();
     sess.set_converged(!worked || (stats.replacements == 0 && sess.store.dirty_count() == 0));
     Ok(stats)
 }
 
 /// The single ICCAD'18-style operator: enumerate, lock everything related,
-/// evaluate *while holding the locks*, then replace. Returns whether a
-/// replacement was committed.
+/// evaluate *while holding the locks*, then replace.
+///
+/// Every attempt (loop iteration) records exactly one Galois commit or
+/// abort, so `commits + aborts == attempts` holds at quiescence.
 #[allow(clippy::too_many_arguments)]
 fn combined_operator(
     shared: &ConcurrentAig,
@@ -138,12 +224,15 @@ fn combined_operator(
     owner: u32,
     spec: &SpecStats,
     evaluations: &AtomicU64,
-) -> Result<bool, AigError> {
+    policy: RetryPolicy,
+) -> Result<CombinedOutcome, AigError> {
     let mut spins = 0u32;
     loop {
         let attempt = Instant::now();
+        spec.record_attempt();
         if !shared.is_and(n) || shared.refs(n) == 0 {
-            return Ok(false);
+            spec.record_commit(attempt.elapsed());
+            return Ok(CombinedOutcome::Finished);
         }
 
         // Stage A: cut enumeration (results verified under locks below).
@@ -152,9 +241,13 @@ fn combined_operator(
         drop(enum_span);
         let Some(cuts) = cuts else {
             if !shared.is_and(n) {
-                return Ok(false);
+                spec.record_commit(attempt.elapsed());
+                return Ok(CombinedOutcome::Finished);
             }
             spec.record_abort(attempt.elapsed());
+            if policy == RetryPolicy::Yield {
+                return Ok(CombinedOutcome::Conflict);
+            }
             backoff(&mut spins);
             continue;
         };
@@ -176,10 +269,14 @@ fn combined_operator(
             }
         }
         if usable.is_empty() {
-            return Ok(false);
+            spec.record_commit(attempt.elapsed());
+            return Ok(CombinedOutcome::Finished);
         }
         let Some(guard) = locks.try_acquire(owner, region) else {
             spec.record_abort(attempt.elapsed());
+            if policy == RetryPolicy::Yield {
+                return Ok(CombinedOutcome::Conflict);
+            }
             backoff(&mut spins);
             continue;
         };
@@ -199,13 +296,13 @@ fn combined_operator(
         drop(eval_span);
         let Some(cand) = cand else {
             spec.record_commit(attempt.elapsed());
-            return Ok(false);
+            return Ok(CombinedOutcome::Finished);
         };
         let re = reevaluate_structure(shared, n, &cand, ctx);
         let gain_ok = re.gain > 0 || (ctx.use_zeros && re.gain >= 0);
         if !gain_ok {
             spec.record_commit(attempt.elapsed());
-            return Ok(false);
+            return Ok(CombinedOutcome::Finished);
         }
 
         // Shared (reused) nodes must be locked before mutation.
@@ -224,6 +321,9 @@ fn combined_operator(
                     drop(guard);
                     // Everything — enumeration AND evaluation — is lost.
                     spec.record_abort(attempt.elapsed());
+                    if policy == RetryPolicy::Yield {
+                        return Ok(CombinedOutcome::Conflict);
+                    }
                     backoff(&mut spins);
                     continue;
                 }
@@ -250,7 +350,11 @@ fn combined_operator(
             }
         }
         spec.record_commit(attempt.elapsed());
-        return Ok(applied);
+        return Ok(if applied {
+            CombinedOutcome::Replaced
+        } else {
+            CombinedOutcome::Finished
+        });
     }
 }
 

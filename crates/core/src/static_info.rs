@@ -70,6 +70,11 @@ pub fn rewrite_static(
         // ---- Phase A: parallel enumeration + evaluation on the static AIG.
         let t_eval = Instant::now();
         let order = dacpara_aig::topo_ands(aig);
+        if order.is_empty() {
+            // A gateless netlist (constants/wires only) has nothing to
+            // enumerate, and further runs cannot create work.
+            break;
+        }
         let store = CutStore::new(aig.slot_count(), cfg.cut_config());
         let prep: Vec<Mutex<Option<Candidate>>> =
             (0..aig.slot_count()).map(|_| Mutex::new(None)).collect();

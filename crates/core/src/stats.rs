@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use dacpara_galois::SpecSnapshot;
+use dacpara_galois::{SchedSnapshot, SpecSnapshot};
 
 /// Everything a rewriting pass reports — the raw material for the paper's
 /// Tables 2/3 and Fig. 2.
@@ -37,6 +37,9 @@ pub struct RewriteStats {
     pub clean_skipped: u64,
     /// Speculative-execution counters (conflicts/aborts/wasted work).
     pub spec: SpecSnapshot,
+    /// Work-stealing scheduler counters (steals/retries/retry-commits).
+    /// All-zero under the barrier scheduler and on serial engines.
+    pub sched: SchedSnapshot,
     /// Number of level worklists processed (DACPara only).
     pub worklists: usize,
     /// Wall-clock per stage: enumeration, evaluation, replacement.
@@ -62,7 +65,7 @@ impl RewriteStats {
     /// One summary line for logs.
     pub fn summary(&self) -> String {
         format!(
-            "{}: {:.3}s area {} -> {} (-{}, {:.2}%) delay {} -> {} repl {} eval {} clean-skip {} [{}]",
+            "{}: {:.3}s area {} -> {} (-{}, {:.2}%) delay {} -> {} repl {} eval {} clean-skip {} [{}] [{}]",
             self.engine,
             self.time.as_secs_f64(),
             self.area_before,
@@ -75,6 +78,7 @@ impl RewriteStats {
             self.evaluations,
             self.clean_skipped,
             self.spec,
+            self.sched,
         )
     }
 }

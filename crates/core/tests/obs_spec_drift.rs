@@ -47,12 +47,24 @@ fn spec_stats_match_obs_events() {
 
     assert!(stats.replacements > 0, "the run must actually rewrite");
     assert!(stats.spec.commits > 0, "the run must commit activities");
+    assert_eq!(
+        stats.spec.commits + stats.spec.aborts,
+        stats.spec.attempts,
+        "every attempt must end in exactly one commit or abort"
+    );
 
     // 1. Aggregated RewriteStats vs. the obs sharded counters.
     let counter = |name: &'static str| dacpara_obs::counter(name).value();
+    assert_eq!(stats.spec.attempts, counter("galois.attempts"));
     assert_eq!(stats.spec.conflicts, counter("galois.conflicts"));
     assert_eq!(stats.spec.commits, counter("galois.commits"));
     assert_eq!(stats.spec.aborts, counter("galois.aborts"));
+
+    // 1b. The work-stealing scheduler counters follow the same leaf-only
+    // discipline (the default config runs the steal scheduler).
+    assert_eq!(stats.sched.steals, counter("sched.steals"));
+    assert_eq!(stats.sched.retries, counter("sched.retries"));
+    assert_eq!(stats.sched.retry_commits, counter("sched.retry_commits"));
 
     // 2. ... vs. the per-thread instant events in the exported trace.
     let trace = dacpara_obs::chrome_trace_to_string();

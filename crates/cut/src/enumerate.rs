@@ -51,7 +51,16 @@ pub fn and_cuts<V: AigRead + ?Sized>(
     cuts_b: &[Cut],
     cfg: &CutConfig,
 ) -> CutSet {
-    debug_assert_eq!(view.kind(n), NodeKind::And);
+    // A node observed as `And` may concurrently become `Free` on the
+    // concurrent view (a racing replacement deleted it after the caller's
+    // kind check); the cuts built from its stale fanins are rejected by
+    // commit-time revalidation, so only genuinely wrong callers (inputs,
+    // constants) are a bug.
+    debug_assert!(
+        matches!(view.kind(n), NodeKind::And | NodeKind::Free),
+        "and_cuts on a {:?} node",
+        view.kind(n)
+    );
     let [fa, fb] = view.fanins(n);
     let mut out: CutSet = Vec::with_capacity(cuts_a.len() * cuts_b.len() / 2 + 1);
     out.push(Cut::trivial(n));
@@ -198,6 +207,31 @@ mod tests {
         assert_eq!(cuts.len(), 2);
         assert_eq!(cuts[1].leaves(), [a.node(), b.node()]);
         assert_eq!(cuts[1].tt(), Tt4::var(0) & Tt4::var(1));
+    }
+
+    #[test]
+    fn and_cuts_tolerates_a_concurrently_freed_node() {
+        // A speculative worker can observe a node as `And`, lose the race to
+        // a neighbor whose commit deletes it, and still reach `and_cuts` on
+        // the now-free slot; the stale cut set it builds is rejected by
+        // commit-time revalidation, so the call must not assert.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let _ab = aig.add_and(a, b);
+        let shared = dacpara_aig::concurrent::ConcurrentAig::from_aig(&aig, 1.5);
+        let and_node = (0..shared.capacity())
+            .map(|i| NodeId::new(i as u32))
+            .find(|&n| shared.kind(n) == NodeKind::And)
+            .expect("the AND survived the renumbering");
+        let [fa, fb] = shared.fanins(and_node);
+        let cfg = CutConfig::unlimited();
+        let ca = leaf_cuts(&shared, fa.node());
+        let cb = leaf_cuts(&shared, fb.node());
+        shared.delete_cone(and_node);
+        assert_eq!(shared.kind(and_node), NodeKind::Free);
+        let cuts = and_cuts(&shared, and_node, &ca, &cb, &cfg);
+        assert!(cuts[0].is_trivial(), "even a raced set keeps its shape");
     }
 
     #[test]

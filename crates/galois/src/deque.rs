@@ -1,0 +1,239 @@
+//! A fixed-capacity Chase-Lev work-stealing deque over `usize` items.
+//!
+//! The owner pushes and pops at the *bottom* (LIFO); thieves steal from the
+//! *top* (FIFO), so a thief always takes the oldest — in this runtime the
+//! largest — outstanding item. The implementation is the weak-memory
+//! Chase-Lev algorithm (Lê et al., PPoPP'13) with two deliberate
+//! simplifications that keep it in safe Rust:
+//!
+//! * **No growth.** Items here are packed index ranges whose live count is
+//!   bounded by the seeded worklist, so the ring never needs to resize;
+//!   [`StealDeque::push`] reports a full ring instead (callers fall back to
+//!   processing the item inline).
+//! * **Atomic slots.** The ring stores `AtomicUsize` values, so the benign
+//!   owner/thief races on slot contents that the classical algorithm
+//!   tolerates via `memcpy` are ordinary relaxed atomics — no `unsafe`, and
+//!   nothing for ThreadSanitizer to object to.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+
+/// Result of a [`StealDeque::steal`] attempt.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Steal {
+    /// An item was stolen.
+    Taken(usize),
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; caller may retry.
+    Retry,
+}
+
+/// A single-owner, multi-thief deque of `usize` items.
+///
+/// Only one thread (the owner) may call [`StealDeque::push`] and
+/// [`StealDeque::pop`]; any thread may call [`StealDeque::steal`]. The
+/// owner restriction is not enforced by the type system — the scheduler
+/// hands each worker its own deque — but misuse is a logic error, not UB.
+///
+/// # Example
+///
+/// ```
+/// use dacpara_galois::{Steal, StealDeque};
+///
+/// let d = StealDeque::new(8);
+/// d.push(1).unwrap();
+/// d.push(2).unwrap();
+/// assert_eq!(d.steal(), Steal::Taken(1)); // thieves take the oldest
+/// assert_eq!(d.pop(), Some(2)); // the owner takes the newest
+/// assert_eq!(d.pop(), None);
+/// ```
+pub struct StealDeque {
+    buf: Box<[AtomicUsize]>,
+    mask: usize,
+    /// Steal end; monotonically increasing.
+    top: AtomicIsize,
+    /// Owner end; increases on push, decreases transiently during pop.
+    bottom: AtomicIsize,
+}
+
+impl StealDeque {
+    /// Creates a deque holding at most `capacity` items (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: usize) -> StealDeque {
+        let cap = capacity.max(2).next_power_of_two();
+        StealDeque {
+            buf: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
+            mask: cap - 1,
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+        }
+    }
+
+    /// Number of items currently in the deque (racy — scheduling heuristics
+    /// and tests only).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    /// Whether the deque currently holds no items (racy).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes an item at the owner end, or returns it if the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the ring has no free slot; the caller keeps
+    /// ownership of the item (the scheduler processes it inline).
+    pub fn push(&self, item: usize) -> Result<(), usize> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) >= self.buf.len() as isize {
+            return Err(item);
+        }
+        self.buf[(b as usize) & self.mask].store(item, Ordering::Relaxed);
+        self.bottom.store(b.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Pops the most recently pushed item (owner only).
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Already empty; restore the canonical empty state.
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return None;
+        }
+        let item = self.buf[(b as usize) & self.mask].load(Ordering::Relaxed);
+        if t == b {
+            // Last item: race the thieves for it via `top`.
+            let won = self
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return won.then_some(item);
+        }
+        Some(item)
+    }
+
+    /// Attempts to steal the oldest item (any thread).
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let item = self.buf[(t as usize) & self.mask].load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Taken(item)
+        } else {
+            Steal::Retry
+        }
+    }
+}
+
+impl std::fmt::Debug for StealDeque {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealDeque")
+            .field("capacity", &self.buf.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = StealDeque::new(4);
+        d.push(10).unwrap();
+        d.push(20).unwrap();
+        d.push(30).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.pop(), Some(30));
+        assert_eq!(d.steal(), Steal::Taken(10));
+        assert_eq!(d.pop(), Some(20));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn push_reports_full_ring() {
+        let d = StealDeque::new(2);
+        d.push(1).unwrap();
+        d.push(2).unwrap();
+        assert_eq!(d.push(3), Err(3));
+        assert_eq!(d.pop(), Some(2));
+        d.push(3).unwrap();
+    }
+
+    #[test]
+    fn ring_reuse_wraps_cleanly() {
+        let d = StealDeque::new(2);
+        for round in 0..100 {
+            d.push(round).unwrap();
+            assert_eq!(d.pop(), Some(round));
+            assert_eq!(d.pop(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_thieves_never_duplicate_or_lose() {
+        use std::sync::atomic::AtomicU64;
+        const ITEMS: usize = 10_000;
+        let d = StealDeque::new(ITEMS);
+        let hits: Vec<AtomicU64> = (0..ITEMS).map(|_| AtomicU64::new(0)).collect();
+        let taken = AtomicUsize::new(0);
+        let (d, hits, taken) = (&d, &hits, &taken);
+        std::thread::scope(|s| {
+            // Owner interleaves pushes with pops.
+            s.spawn(move || {
+                for i in 0..ITEMS {
+                    d.push(i).unwrap();
+                    if i % 3 == 0 {
+                        if let Some(x) = d.pop() {
+                            hits[x].fetch_add(1, Ordering::Relaxed);
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                while let Some(x) = d.pop() {
+                    hits[x].fetch_add(1, Ordering::Relaxed);
+                    taken.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            for _ in 0..3 {
+                s.spawn(move || loop {
+                    match d.steal() {
+                        Steal::Taken(x) => {
+                            hits[x].fetch_add(1, Ordering::Relaxed);
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if taken.load(Ordering::Relaxed) == ITEMS {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

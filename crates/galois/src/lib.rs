@@ -10,7 +10,12 @@
 //! * **conflict accounting** — the cost model behind the paper's Fig. 2 is
 //!   exactly "how much computation do aborts discard" ([`SpecStats`]),
 //! * **worklist execution** — a team of workers draining shared worklists
-//!   ([`run_spmd`], [`WorkQueue`]).
+//!   ([`run_spmd`], [`WorkQueue`]),
+//! * **work stealing with in-round conflict retry** — per-worker Chase-Lev
+//!   deques with adaptive range splitting and per-worker retry queues, so
+//!   an aborted activity is re-tried within the same round instead of
+//!   serializing its worker or waiting for the next pass ([`StealPool`],
+//!   [`StealDeque`], [`SchedStats`]).
 //!
 //! # Example
 //!
@@ -39,10 +44,14 @@
 //! assert!(cells.iter().all(|c| c.load(Ordering::Relaxed) == 1));
 //! ```
 
+mod deque;
 mod locks;
+mod sched;
 mod spmd;
 mod stats;
 
+pub use deque::{Steal, StealDeque};
 pub use locks::{LockSet, LockTable};
+pub use sched::{ItemOutcome, SchedSnapshot, SchedStats, StealPool, MAX_SCHED_RETRIES};
 pub use spmd::{chunk_size, parallel_for, run_spmd, WorkQueue, Worker};
 pub use stats::{SpecSnapshot, SpecStats};

@@ -75,15 +75,22 @@ where
             let barrier = &barrier;
             let f = &f;
             s.spawn(move || {
-                // One lifetime span per worker: each thread gets its own
-                // lane in the exported trace, and the thread-local span
-                // buffer flushes when the scoped thread exits.
-                let _obs = dacpara_obs::span!("worker", id = id);
-                f(&Worker {
-                    id,
-                    num_threads,
-                    barrier,
-                })
+                {
+                    // One lifetime span per worker: each thread gets its
+                    // own lane in the exported trace.
+                    let _obs = dacpara_obs::span!("worker", id = id);
+                    f(&Worker {
+                        id,
+                        num_threads,
+                        barrier,
+                    });
+                }
+                // Flush before the closure returns: `scope` unblocks as
+                // soon as the closure's result lands, which can be before
+                // the thread's TLS destructors (the backstop flush) run —
+                // an exporter called right after `run_spmd` would miss
+                // this worker's lane.
+                dacpara_obs::flush_thread();
             });
         }
     });
@@ -97,7 +104,18 @@ where
 pub struct WorkQueue {
     next: AtomicUsize,
     len: AtomicUsize,
+    /// Debug guard: consecutive drained polls since the last reset. In the
+    /// barrier engines every worker observes drainage exactly once per
+    /// round, so a large count means a round started without `reset` — the
+    /// new worklist is being silently skipped.
+    #[cfg(debug_assertions)]
+    drained_polls: AtomicUsize,
 }
+
+/// Debug ceiling on drained [`WorkQueue::next_chunk`] polls between resets
+/// (far above any legitimate team size).
+#[cfg(debug_assertions)]
+const DRAINED_POLL_LIMIT: usize = 1024;
 
 impl WorkQueue {
     /// Creates a dispenser over `0..len`.
@@ -105,6 +123,8 @@ impl WorkQueue {
         WorkQueue {
             next: AtomicUsize::new(0),
             len: AtomicUsize::new(len),
+            #[cfg(debug_assertions)]
+            drained_polls: AtomicUsize::new(0),
         }
     }
 
@@ -113,12 +133,22 @@ impl WorkQueue {
     ///
     /// # Panics
     ///
-    /// Panics if `chunk` is zero.
+    /// Panics if `chunk` is zero. Panics (debug) after [`DRAINED_POLL_LIMIT`]
+    /// consecutive drained polls — the signature of reusing a spent queue
+    /// without [`WorkQueue::reset`].
     pub fn next_chunk(&self, chunk: usize) -> Option<Range<usize>> {
         assert!(chunk > 0);
         let len = self.len.load(Ordering::Relaxed);
         let start = self.next.fetch_add(chunk, Ordering::Relaxed);
         if start >= len {
+            #[cfg(debug_assertions)]
+            {
+                let polls = self.drained_polls.fetch_add(1, Ordering::Relaxed);
+                debug_assert!(
+                    polls < DRAINED_POLL_LIMIT,
+                    "WorkQueue drained {polls} consecutive times — missing reset() between rounds?"
+                );
+            }
             None
         } else {
             Some(start..(start + chunk).min(len))
@@ -130,13 +160,23 @@ impl WorkQueue {
     pub fn reset(&self, len: usize) {
         self.len.store(len, Ordering::Relaxed);
         self.next.store(0, Ordering::Relaxed);
+        #[cfg(debug_assertions)]
+        self.drained_polls.store(0, Ordering::Relaxed);
     }
 }
 
 /// Heuristic chunk size: small enough to balance, large enough to amortize
 /// the atomic increment.
+///
+/// # Panics
+///
+/// Panics (debug) if `len` or `num_threads` is zero — a zero-length
+/// worklist has no meaningful chunk size (callers must skip empty lists),
+/// and zero threads would divide by zero anyway.
 pub fn chunk_size(len: usize, num_threads: usize) -> usize {
-    (len / (num_threads * 8)).clamp(1, 256)
+    debug_assert!(num_threads > 0, "chunk size for a zero-thread team");
+    debug_assert!(len > 0, "chunk size of an empty worklist");
+    (len / (num_threads.max(1) * 8)).clamp(1, 256)
 }
 
 /// Convenience: applies `f` to every item of `items` on a team of
@@ -160,6 +200,9 @@ where
     T: Sync,
     F: Fn(&Worker<'_>, &T) + Sync,
 {
+    if items.is_empty() {
+        return;
+    }
     let queue = WorkQueue::new(items.len());
     let chunk = chunk_size(items.len(), num_threads.max(1));
     let queue = &queue;
@@ -247,8 +290,48 @@ mod tests {
 
     #[test]
     fn chunk_size_is_sane() {
-        assert_eq!(chunk_size(0, 4), 1);
         assert!(chunk_size(1_000_000, 4) <= 256);
         assert!(chunk_size(100, 4) >= 1);
+        assert_eq!(chunk_size(1, 64), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "empty worklist")]
+    fn chunk_size_rejects_empty_worklists_in_debug() {
+        let _ = chunk_size(0, 4);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "zero-thread team")]
+    fn chunk_size_rejects_zero_threads_in_debug() {
+        let _ = chunk_size(100, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "missing reset()")]
+    fn reuse_without_reset_panics_in_debug() {
+        let q = WorkQueue::new(4);
+        assert_eq!(q.next_chunk(8), Some(0..4));
+        // A forgotten reset: the queue looks permanently empty. The debug
+        // guard trips once the drained polls exceed any plausible team size.
+        for _ in 0..=DRAINED_POLL_LIMIT {
+            assert_eq!(q.next_chunk(8), None);
+        }
+    }
+
+    #[test]
+    fn reset_clears_the_drained_poll_guard() {
+        let q = WorkQueue::new(2);
+        for round in 0..8 {
+            let mut seen = 0;
+            while let Some(r) = q.next_chunk(1) {
+                seen += r.len();
+            }
+            assert_eq!(seen, 2, "round {round}");
+            q.reset(2);
+        }
     }
 }

@@ -16,6 +16,7 @@ use dacpara_obs::{LogHistogram, ShardedCounter};
 /// paths never take the registry lock. The `Arc`s survive
 /// `dacpara_obs::reset()` (reset zeroes values in place).
 struct ObsHandles {
+    attempts: Arc<ShardedCounter>,
     conflicts: Arc<ShardedCounter>,
     commits: Arc<ShardedCounter>,
     aborts: Arc<ShardedCounter>,
@@ -26,6 +27,7 @@ struct ObsHandles {
 fn obs() -> &'static ObsHandles {
     static HANDLES: OnceLock<ObsHandles> = OnceLock::new();
     HANDLES.get_or_init(|| ObsHandles {
+        attempts: dacpara_obs::counter("galois.attempts"),
         conflicts: dacpara_obs::counter("galois.conflicts"),
         commits: dacpara_obs::counter("galois.commits"),
         aborts: dacpara_obs::counter("galois.aborts"),
@@ -37,6 +39,7 @@ fn obs() -> &'static ObsHandles {
 /// Atomic counters describing a speculative execution run.
 #[derive(Debug, Default)]
 pub struct SpecStats {
+    attempts: AtomicU64,
     conflicts: AtomicU64,
     commits: AtomicU64,
     aborts: AtomicU64,
@@ -48,6 +51,18 @@ impl SpecStats {
     /// Creates zeroed counters.
     pub fn new() -> SpecStats {
         SpecStats::default()
+    }
+
+    /// Records the start of one speculative operator attempt. Every attempt
+    /// must end in exactly one [`SpecStats::record_commit`] or
+    /// [`SpecStats::record_abort`], so `commits + aborts == attempts` is an
+    /// invariant at every quiescent point (checked by the rewrite property
+    /// tests).
+    pub fn record_attempt(&self) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        if dacpara_obs::is_enabled() {
+            obs().attempts.incr();
+        }
     }
 
     /// Records a lock-acquisition conflict.
@@ -87,6 +102,11 @@ impl SpecStats {
             obs().abort_latency_ns.record(took.as_nanos() as u64);
             dacpara_obs::instant("spec.abort", "spec");
         }
+    }
+
+    /// Number of operator attempts started.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
     }
 
     /// Number of lock conflicts observed.
@@ -132,6 +152,7 @@ impl SpecStats {
     /// recorded once by the leaf-level `record_*` call, and re-emitting on
     /// merge would double-count.
     pub fn merge(&self, other: &SpecStats) {
+        self.attempts.fetch_add(other.attempts(), Ordering::Relaxed);
         self.conflicts
             .fetch_add(other.conflicts(), Ordering::Relaxed);
         self.commits.fetch_add(other.commits(), Ordering::Relaxed);
@@ -146,6 +167,7 @@ impl SpecStats {
     /// delta) into these counters. Like [`SpecStats::merge`], emits no
     /// observability events.
     pub fn merge_snapshot(&self, snap: &SpecSnapshot) {
+        self.attempts.fetch_add(snap.attempts, Ordering::Relaxed);
         self.conflicts.fetch_add(snap.conflicts, Ordering::Relaxed);
         self.commits.fetch_add(snap.commits, Ordering::Relaxed);
         self.aborts.fetch_add(snap.aborts, Ordering::Relaxed);
@@ -156,6 +178,7 @@ impl SpecStats {
     /// Plain-value snapshot for reporting.
     pub fn snapshot(&self) -> SpecSnapshot {
         SpecSnapshot {
+            attempts: self.attempts(),
             conflicts: self.conflicts(),
             commits: self.commits(),
             aborts: self.aborts(),
@@ -168,6 +191,8 @@ impl SpecStats {
 /// A point-in-time copy of [`SpecStats`].
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct SpecSnapshot {
+    /// Operator attempts started (`commits + aborts` at quiescence).
+    pub attempts: u64,
     /// Lock-acquisition conflicts.
     pub conflicts: u64,
     /// Committed activities.
@@ -186,6 +211,7 @@ impl SpecSnapshot {
     /// without double-counting earlier passes.
     pub fn since(&self, baseline: &SpecSnapshot) -> SpecSnapshot {
         SpecSnapshot {
+            attempts: self.attempts.saturating_sub(baseline.attempts),
             conflicts: self.conflicts.saturating_sub(baseline.conflicts),
             commits: self.commits.saturating_sub(baseline.commits),
             aborts: self.aborts.saturating_sub(baseline.aborts),
@@ -225,11 +251,15 @@ mod tests {
     #[test]
     fn accounting_accumulates() {
         let s = SpecStats::new();
+        s.record_attempt();
         s.record_commit(Duration::from_nanos(100));
+        s.record_attempt();
         s.record_abort(Duration::from_nanos(300));
         s.record_conflict();
+        assert_eq!(s.attempts(), 2);
         assert_eq!(s.commits(), 1);
         assert_eq!(s.aborts(), 1);
+        assert_eq!(s.commits() + s.aborts(), s.attempts());
         assert_eq!(s.conflicts(), 1);
         assert!((s.wasted_fraction() - 0.75).abs() < 1e-9);
     }

@@ -15,8 +15,9 @@ use crate::registry::global;
 /// carried in the fractional part.
 ///
 /// The calling thread's pending buffer is flushed first; worker threads
-/// flush when they exit (engines run workers in scoped threads, so their
-/// spans are always visible by the time the engine returns).
+/// must flush before their closure returns ([`crate::flush_thread`] — the
+/// SPMD runtime does this for every worker, so engine spans are always
+/// visible by the time the engine returns).
 pub fn chrome_trace_to_string() -> String {
     crate::span::flush_thread();
     let mut events = Vec::new();

@@ -3,9 +3,13 @@
 //!
 //! The hot path never takes a lock: events are pushed onto a plain
 //! thread-local `Vec` and flushed in batches of [`FLUSH_BATCH`] into the
-//! thread's shared [`ThreadLog`] (also on thread exit, via the
-//! thread-local's destructor — worker teams are scoped threads, so their
-//! buffers are always flushed by the time an engine returns).
+//! thread's shared [`ThreadLog`]. The thread-local's destructor flushes
+//! whatever remains on thread exit, but that is a *backstop*, not a
+//! synchronization point: `std::thread::scope` unblocks when a closure's
+//! result lands, which can be before the thread's TLS destructors run.
+//! Threads whose events must be visible to an exporter right after a join
+//! call [`flush_thread`] before their closure returns (the SPMD runtime
+//! does this for every worker).
 
 use std::cell::RefCell;
 use std::sync::{Arc, Mutex, PoisonError};

@@ -15,7 +15,9 @@ fn chrome_trace_is_valid_and_monotone_per_thread() {
     dacpara_obs::enable();
 
     // Three worker threads each record the three stage spans in order,
-    // plus an instant event.
+    // plus an instant event. Each flushes before its closure returns:
+    // `scope` unblocks on closure completion, before TLS destructors (the
+    // backstop flush) are guaranteed to have run.
     std::thread::scope(|s| {
         for _ in 0..3 {
             s.spawn(|| {
@@ -24,6 +26,7 @@ fn chrome_trace_is_valid_and_monotone_per_thread() {
                     std::hint::black_box(17u64.pow(3));
                 }
                 dacpara_obs::instant("spec.commit", "spec");
+                dacpara_obs::flush_thread();
             });
         }
     });

@@ -1,0 +1,216 @@
+//! Differential suite: every parallel engine, on every benchmark of the
+//! Table 1 test-scale suite, must (a) stay CEC-equivalent to its input and
+//! (b) land inside an engine-dependent envelope of the serial ABC-rewrite
+//! baseline's final area, across thread counts and under both worklist
+//! schedulers.
+//!
+//! This is the quality pin for the work-stealing scheduler: `steal` may
+//! reorder commits relative to `barrier` (retried nodes land late instead
+//! of serializing their worker), so the suite compares both schedulers'
+//! results against the same serial baselines and against each other.
+
+use dacpara::{run_engine, Engine, RewriteConfig, SchedulerKind};
+use dacpara_aig::{Aig, AigRead};
+use dacpara_circuits::{full_suite, Benchmark, Scale};
+use dacpara_equiv::{check_equivalence, random_sim_check, CecConfig, CecResult, SimOutcome};
+
+/// The five parallel engines (everything except the serial baseline).
+const PARALLEL: [Engine; 5] = [
+    Engine::Iccad18,
+    Engine::Dac22,
+    Engine::Tcad23,
+    Engine::DacPara,
+    Engine::Partition,
+];
+
+/// The engine's paper configuration (the GPU emulations use the `drw`
+/// setup; everything else the ABC `rewrite` operator setup).
+fn base_cfg(engine: Engine) -> RewriteConfig {
+    match engine {
+        Engine::Dac22 | Engine::Tcad23 => RewriteConfig::drw_op(),
+        _ => RewriteConfig::rewrite_op(),
+    }
+}
+
+/// CEC via SAT where affordable, exhaustive random simulation otherwise
+/// (same policy as `engines_equivalence.rs`).
+fn assert_equiv(golden: &Aig, rewritten: &Aig, label: &str) {
+    if golden.num_ands() + rewritten.num_ands() < 4_000 {
+        assert_eq!(
+            check_equivalence(golden, rewritten, &CecConfig::default()),
+            CecResult::Equivalent,
+            "{label}"
+        );
+    } else {
+        assert_eq!(
+            random_sim_check(golden, rewritten, 24, 0xEDA),
+            SimOutcome::NoDifferenceFound,
+            "{label}"
+        );
+    }
+}
+
+/// Runs the serial baseline for `cfg` and returns its final area.
+fn serial_area(bench: &Benchmark, cfg: &RewriteConfig) -> usize {
+    let mut aig = bench.aig.clone();
+    let stats = run_engine(&mut aig, Engine::AbcRewrite, cfg)
+        .unwrap_or_else(|e| panic!("serial baseline failed on {}: {e}", bench.name));
+    stats.area_after
+}
+
+/// Engine-dependent envelope around the serial baseline, expressed as a
+/// fraction of the reduction the serial order achieved.
+///
+/// * `dacpara` — §5.2 claims near-parity with the serial result; the suite's
+///   observed worst case is ~7% of the serial reduction, so pin 10%.
+/// * `iccad18` — the per-level commit order forfeits more rewrites that a
+///   global ordering would chain (observed up to 15%); pin 25%.
+/// * the static emulations and the coarse partitioner trade quality for
+///   structure and on some circuits recover none of the serial reduction —
+///   for them the pin is "never worse than the input netlist".
+fn slack(engine: Engine, area_before: usize, serial_after: usize) -> usize {
+    let reduction = area_before - serial_after;
+    match engine {
+        Engine::DacPara => 1 + reduction / 10,
+        Engine::Iccad18 => 1 + reduction / 4,
+        _ => reduction,
+    }
+}
+
+fn assert_within_baseline(
+    bench: &Benchmark,
+    engine: Engine,
+    area_after: usize,
+    serial_after: usize,
+    label: &str,
+) {
+    let bound = serial_after + slack(engine, bench.aig.num_ands(), serial_after);
+    assert!(
+        area_after <= bound,
+        "{label}: {engine} on {} finished at {} ANDs, serial baseline {} (bound {})",
+        bench.name,
+        area_after,
+        serial_after,
+        bound
+    );
+}
+
+#[test]
+fn parallel_engines_track_the_serial_baseline_across_threads() {
+    for bench in &full_suite(Scale::Test) {
+        let serial_rw = serial_area(bench, &RewriteConfig::rewrite_op());
+        let serial_drw = serial_area(bench, &RewriteConfig::drw_op());
+        for engine in PARALLEL {
+            let serial_after = match engine {
+                Engine::Dac22 | Engine::Tcad23 => serial_drw,
+                _ => serial_rw,
+            };
+            for threads in [1, 2, 4] {
+                eprintln!("[diff] {} {engine} x{threads}", bench.name);
+                let cfg = base_cfg(engine).with_threads(threads);
+                let mut aig = bench.aig.clone();
+                run_engine(&mut aig, engine, &cfg)
+                    .unwrap_or_else(|e| panic!("{engine} failed on {}: {e}", bench.name));
+                aig.check()
+                    .unwrap_or_else(|e| panic!("{engine} corrupted {}: {e}", bench.name));
+                let label = format!("steal x{threads}");
+                assert_equiv(
+                    &bench.aig,
+                    &aig,
+                    &format!("{label}: {engine} on {}", bench.name),
+                );
+                assert_within_baseline(bench, engine, aig.num_ands(), serial_after, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn galois_engines_match_the_baseline_under_both_schedulers() {
+    for bench in &full_suite(Scale::Test) {
+        let serial_after = serial_area(bench, &RewriteConfig::rewrite_op());
+        for engine in [Engine::DacPara, Engine::Iccad18] {
+            let mut by_scheduler = [0usize; 2];
+            for (slot, sched) in [SchedulerKind::Steal, SchedulerKind::Barrier]
+                .into_iter()
+                .enumerate()
+            {
+                for threads in [1, 2, 4] {
+                    eprintln!("[diff] {} {engine} {sched} x{threads}", bench.name);
+                    let cfg = base_cfg(engine).with_threads(threads).with_scheduler(sched);
+                    let mut aig = bench.aig.clone();
+                    run_engine(&mut aig, engine, &cfg)
+                        .unwrap_or_else(|e| panic!("{engine} failed on {}: {e}", bench.name));
+                    aig.check().unwrap();
+                    let label = format!("{sched} x{threads}");
+                    assert_equiv(
+                        &bench.aig,
+                        &aig,
+                        &format!("{label}: {engine} on {}", bench.name),
+                    );
+                    assert_within_baseline(bench, engine, aig.num_ands(), serial_after, &label);
+                    if threads == 4 {
+                        by_scheduler[slot] = aig.num_ands();
+                    }
+                }
+            }
+            // Head-to-head at 4 threads: in-pass retry must not cost area
+            // against the spin-retry scheme (both runs are nondeterministic
+            // interleavings, so allow the same baseline-relative slack).
+            let [steal, barrier] = by_scheduler;
+            assert!(
+                steal <= barrier + slack(engine, bench.aig.num_ands(), serial_after),
+                "{engine} on {}: steal {} vs barrier {}",
+                bench.name,
+                steal,
+                barrier
+            );
+        }
+    }
+}
+
+#[test]
+fn steal_scheduler_salvages_conflicted_commits_on_the_largest_circuit() {
+    // Acceptance for the in-pass retry queue: on the largest suite circuit
+    // at 4 threads a conflict-aborted activity must be retried and then
+    // commit within the same pass (`sched.retry_commits > 0`). Conflicts
+    // are probabilistic, so sweep both Galois engines and a few fresh runs
+    // before declaring the retry path dead.
+    let suite = full_suite(Scale::Test);
+    let bench = suite
+        .iter()
+        .max_by_key(|b| b.aig.num_ands())
+        .expect("non-empty suite");
+    let cfg = RewriteConfig::rewrite_op()
+        .with_threads(4)
+        .with_scheduler(SchedulerKind::Steal);
+    let mut salvaged = 0u64;
+    let mut sweeps = Vec::new();
+    'search: for round in 0..5 {
+        for engine in [Engine::Iccad18, Engine::DacPara] {
+            let mut aig = bench.aig.clone();
+            let stats = run_engine(&mut aig, engine, &cfg).unwrap();
+            aig.check().unwrap();
+            assert_equiv(&bench.aig, &aig, &format!("{engine} on {}", bench.name));
+            sweeps.push(format!(
+                "round {round} {engine}: {} [{}]",
+                stats.spec, stats.sched
+            ));
+            assert_eq!(
+                stats.spec.commits + stats.spec.aborts,
+                stats.spec.attempts,
+                "attempt accounting broke on {engine}"
+            );
+            salvaged += stats.sched.retry_commits;
+            if salvaged > 0 {
+                break 'search;
+            }
+        }
+    }
+    assert!(
+        salvaged > 0,
+        "no conflicted activity was retried to completion on {} at 4 threads:\n{}",
+        bench.name,
+        sweeps.join("\n")
+    );
+}

@@ -2,7 +2,7 @@
 //! inputs, every engine's output is *exhaustively* equivalent to its input
 //! (all 2^n assignments in one simulation word).
 
-use dacpara::{run_engine, Engine, RewriteConfig};
+use dacpara::{run_engine, Engine, RewriteConfig, RewriteSession, SchedulerKind};
 use dacpara_suite::{build_from_recipe, exhaustively_equivalent, Op};
 use proptest::prelude::*;
 
@@ -68,6 +68,59 @@ proptest! {
             run_engine(&mut aig, engine, &cfg).unwrap();
             aig.check().unwrap();
             prop_assert!(exhaustively_equivalent(&golden, &aig), "{engine}");
+        }
+    }
+
+    /// Across thread counts, both worklist schedulers and multi-pass
+    /// sessions, speculation accounting stays exact: every attempted
+    /// activity ends in exactly one commit or abort, the barrier scheduler
+    /// never reports stealing activity, and once a pass converges the
+    /// dirty set stays empty so later passes skip at least as many clean
+    /// nodes.
+    #[test]
+    fn scheduler_accounting_is_exact_across_passes(
+        (n_in, ops, n_out) in small_circuit(),
+        t_idx in 0..3usize,
+        steal in any::<bool>(),
+        passes in 1..4usize,
+    ) {
+        let threads = [1usize, 2, 4][t_idx];
+        let sched = if steal { SchedulerKind::Steal } else { SchedulerKind::Barrier };
+        let golden = build_from_recipe(n_in, &ops, n_out);
+        for engine in [Engine::DacPara, Engine::Iccad18] {
+            let cfg = RewriteConfig { num_classes: 222, ..RewriteConfig::rewrite_op() }
+                .with_threads(threads)
+                .with_scheduler(sched);
+            let mut session = RewriteSession::new(&golden, &cfg).unwrap();
+            let mut history = Vec::new();
+            for _ in 0..passes {
+                let stats = session.run(engine).unwrap();
+                prop_assert_eq!(
+                    stats.spec.commits + stats.spec.aborts,
+                    stats.spec.attempts,
+                    "{} x{} {}: attempt accounting", engine, threads, sched
+                );
+                if sched == SchedulerKind::Barrier {
+                    prop_assert_eq!(
+                        stats.sched.steals + stats.sched.retries + stats.sched.retry_commits,
+                        0,
+                        "{}: barrier scheduler reported stealing activity", engine
+                    );
+                }
+                history.push((session.converged(), stats.clean_skipped));
+            }
+            let aig = session.finish();
+            aig.check().unwrap();
+            prop_assert!(exhaustively_equivalent(&golden, &aig), "{}", engine);
+            for w in history.windows(2) {
+                if w[0].0 {
+                    prop_assert!(
+                        w[1].1 >= w[0].1,
+                        "{}: clean_skipped shrank after convergence ({} -> {})",
+                        engine, w[0].1, w[1].1
+                    );
+                }
+            }
         }
     }
 
