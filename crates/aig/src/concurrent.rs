@@ -37,6 +37,18 @@ use crate::{Aig, AigError, AigRead, Lit, NodeId, NodeKind};
 const ORD_LOAD: Ordering = Ordering::Acquire;
 const ORD_STORE: Ordering = Ordering::Release;
 
+/// Denominator of the rational headroom factor used for capacity sizing.
+const HEADROOM_DENOM: usize = 1024;
+
+/// Flat slack added on top of the scaled capacity: keeps tiny graphs
+/// rewritable even at `headroom = 1.0` (replacements transiently allocate
+/// before the old cone is freed).
+const SLACK_SLOTS: usize = 64;
+
+/// Largest addressable capacity: literals pack `(index << 1) | complement`
+/// into a `u32`.
+const MAX_CAPACITY: usize = (u32::MAX >> 1) as usize;
+
 /// Atomic per-node storage.
 struct CNode {
     fanin0: AtomicU32,
@@ -81,7 +93,7 @@ impl CNode {
 /// let b = aig.add_input();
 /// let ab = aig.add_and(a, b);
 /// aig.add_output(ab);
-/// let shared = ConcurrentAig::from_aig(&aig, 1.5);
+/// let shared = ConcurrentAig::from_aig(&aig, 1.5).unwrap();
 /// assert_eq!(shared.num_ands(), 1);
 /// let back = shared.to_aig();
 /// assert_eq!(back.num_ands(), 1);
@@ -105,12 +117,13 @@ impl ConcurrentAig {
     /// Live nodes are renumbered compactly: constant, inputs, then ANDs in
     /// topological order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `headroom < 1.0`.
-    pub fn from_aig(aig: &Aig, headroom: f64) -> ConcurrentAig {
-        assert!(headroom >= 1.0, "headroom must be at least 1.0");
-        let capacity = Self::required_capacity(aig, headroom);
+    /// Returns [`AigError::InvalidHeadroom`] when `headroom` is non-finite
+    /// or below `1.0`, and [`AigError::CapacityOverflow`] when the scaled
+    /// capacity does not fit the node-id space.
+    pub fn from_aig(aig: &Aig, headroom: f64) -> Result<ConcurrentAig, AigError> {
+        let capacity = Self::required_capacity(aig, headroom)?;
         let nodes: Box<[CNode]> = (0..capacity).map(|_| CNode::free()).collect();
         let fanouts: Box<[RwLock<Vec<NodeId>>]> =
             (0..capacity).map(|_| RwLock::new(Vec::new())).collect();
@@ -125,12 +138,43 @@ impl ConcurrentAig {
             next_fresh: AtomicUsize::new(0),
         };
         shared.populate(aig);
-        shared
+        Ok(shared)
     }
 
-    fn required_capacity(aig: &Aig, headroom: f64) -> usize {
+    fn required_capacity(aig: &Aig, headroom: f64) -> Result<usize, AigError> {
         let live = 1 + aig.num_inputs() + aig.num_ands();
-        ((live as f64 * headroom) as usize).max(live) + 64
+        Self::scale_capacity(live, headroom)
+    }
+
+    /// Computes the arena capacity for `live` nodes under a headroom
+    /// factor, entirely in checked integer math: the factor is quantized
+    /// once to [`HEADROOM_DENOM`]ths (rounding up), then scaled with
+    /// `checked_mul` so a huge factor or node count errors out instead of
+    /// silently wrapping through an `f64 as usize` cast.
+    pub fn scale_capacity(live: usize, headroom: f64) -> Result<usize, AigError> {
+        if !headroom.is_finite() || headroom < 1.0 {
+            return Err(AigError::InvalidHeadroom {
+                headroom: format!("{headroom}"),
+            });
+        }
+        let num = (headroom * HEADROOM_DENOM as f64).ceil();
+        // Saturate the quantized numerator so absurd factors fail through
+        // checked_mul below rather than wrapping in the float-to-int cast.
+        let num = if num >= usize::MAX as f64 {
+            usize::MAX
+        } else {
+            num as usize
+        };
+        let capacity = live
+            .checked_mul(num)
+            .map(|scaled| scaled / HEADROOM_DENOM)
+            .and_then(|scaled| scaled.checked_add(SLACK_SLOTS))
+            .ok_or(AigError::CapacityOverflow { live })?
+            .max(live + SLACK_SLOTS);
+        if capacity > MAX_CAPACITY {
+            return Err(AigError::CapacityOverflow { live });
+        }
+        Ok(capacity)
     }
 
     /// Re-initializes this arena from a (possibly mutated) serial graph,
@@ -145,12 +189,12 @@ impl ConcurrentAig {
     ///
     /// Call from a single thread while no parallel operators are running.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `headroom < 1.0`.
-    pub fn resync_from(&mut self, aig: &Aig, headroom: f64) {
-        assert!(headroom >= 1.0, "headroom must be at least 1.0");
-        let capacity = Self::required_capacity(aig, headroom);
+    /// Returns [`AigError::InvalidHeadroom`] or [`AigError::CapacityOverflow`]
+    /// like [`ConcurrentAig::from_aig`]; the arena is left untouched on error.
+    pub fn resync_from(&mut self, aig: &Aig, headroom: f64) -> Result<(), AigError> {
+        let capacity = Self::required_capacity(aig, headroom)?;
         if capacity > self.nodes.len() {
             self.nodes = (0..capacity).map(|_| CNode::free()).collect();
             self.fanouts = (0..capacity).map(|_| RwLock::new(Vec::new())).collect();
@@ -176,6 +220,7 @@ impl ConcurrentAig {
         self.num_ands.store(0, Ordering::Relaxed);
         self.next_fresh.store(0, Ordering::Relaxed);
         self.populate(aig);
+        Ok(())
     }
 
     /// Copies `aig` into the (cleared) arena: constant, inputs, then ANDs
@@ -261,6 +306,11 @@ impl ConcurrentAig {
     }
 
     fn alloc_slot(&self) -> Result<NodeId, AigError> {
+        if dacpara_fault::point(dacpara_fault::points::ARENA_ALLOC) {
+            return Err(AigError::CapacityExhausted {
+                capacity: self.nodes.len(),
+            });
+        }
         if let Some(id) = self.free.lock().pop() {
             return Ok(id);
         }
@@ -694,7 +744,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_structure() {
         let (aig, ..) = sample();
-        let shared = ConcurrentAig::from_aig(&aig, 1.5);
+        let shared = ConcurrentAig::from_aig(&aig, 1.5).unwrap();
         shared.check().unwrap();
         let back = shared.to_aig();
         back.check().unwrap();
@@ -706,7 +756,7 @@ mod tests {
     #[test]
     fn decentralized_lookup_matches_serial() {
         let (aig, ..) = sample();
-        let shared = ConcurrentAig::from_aig(&aig, 1.5);
+        let shared = ConcurrentAig::from_aig(&aig, 1.5).unwrap();
         for i in 0..shared.capacity() {
             let n = NodeId::new(i as u32);
             if shared.kind(n) == NodeKind::And {
@@ -720,7 +770,7 @@ mod tests {
     #[test]
     fn add_and_locked_reuses_and_creates() {
         let (aig, ..) = sample();
-        let shared = ConcurrentAig::from_aig(&aig, 2.0);
+        let shared = ConcurrentAig::from_aig(&aig, 2.0).unwrap();
         let ins = shared.input_ids();
         let (a, b) = (ins[0].lit(), ins[1].lit());
         let before = shared.num_ands();
@@ -744,7 +794,7 @@ mod tests {
         let bc = aig.add_and(b, c);
         let top = aig.add_and(ac, bc);
         aig.add_output(top);
-        let shared = ConcurrentAig::from_aig(&aig, 2.0);
+        let shared = ConcurrentAig::from_aig(&aig, 2.0).unwrap();
 
         // Find the concurrent ids of ac/bc via lookup.
         let ins = shared.input_ids();
@@ -769,7 +819,7 @@ mod tests {
         let b = aig.add_input();
         let ab = aig.add_and(a, b);
         aig.add_output(ab);
-        let shared = ConcurrentAig::from_aig(&aig, 2.0);
+        let shared = ConcurrentAig::from_aig(&aig, 2.0).unwrap();
         let ins = shared.input_ids();
         let sab = shared.find_and(ins[0].lit(), ins[1].lit()).unwrap();
         let gen0 = shared.generation(sab);
@@ -789,7 +839,7 @@ mod tests {
     #[test]
     fn resync_reuses_allocation_and_matches_from_aig() {
         let (aig, ..) = sample();
-        let mut shared = ConcurrentAig::from_aig(&aig, 2.0);
+        let mut shared = ConcurrentAig::from_aig(&aig, 2.0).unwrap();
         let cap = shared.capacity();
 
         // Mutate the arena so stale state would show through a sloppy reset.
@@ -803,7 +853,7 @@ mod tests {
         let b = small.add_input();
         let ab = small.add_and(a, b);
         small.add_output(!ab);
-        shared.resync_from(&small, 2.0);
+        shared.resync_from(&small, 2.0).unwrap();
 
         assert_eq!(shared.capacity(), cap, "allocation must be reused");
         shared.check().unwrap();
@@ -824,7 +874,7 @@ mod tests {
         let b = tiny.add_input();
         let tab = tiny.add_and(a, b);
         tiny.add_output(tab);
-        let mut shared = ConcurrentAig::from_aig(&tiny, 1.0);
+        let mut shared = ConcurrentAig::from_aig(&tiny, 1.0).unwrap();
         let cap = shared.capacity();
 
         let mut big = Aig::new();
@@ -834,7 +884,7 @@ mod tests {
             lit = big.add_and(lit, other);
         }
         big.add_output(lit);
-        shared.resync_from(&big, 1.5);
+        shared.resync_from(&big, 1.5).unwrap();
         assert!(shared.capacity() > cap);
         shared.check().unwrap();
         assert_eq!(shared.num_ands(), big.num_ands());
@@ -850,7 +900,7 @@ mod tests {
         let bc = aig.add_and(b, c);
         let top = aig.add_and(ac, bc);
         aig.add_output(top);
-        let shared = ConcurrentAig::from_aig(&aig, 2.0);
+        let shared = ConcurrentAig::from_aig(&aig, 2.0).unwrap();
         let ins = shared.input_ids();
         let (ca, cb, cc) = (ins[0].lit(), ins[1].lit(), ins[2].lit());
         let sac = shared.find_and(ca, cc).unwrap();
@@ -877,7 +927,7 @@ mod tests {
         let ab = aig.add_and(a, b);
         let _abc = aig.add_and(ab, c); // dangling: only ab is an output
         aig.add_output(ab);
-        let shared = ConcurrentAig::from_aig(&aig, 2.0);
+        let shared = ConcurrentAig::from_aig(&aig, 2.0).unwrap();
         let ins = shared.input_ids();
         let sab = shared.find_and(ins[0].lit(), ins[1].lit()).unwrap();
         let sabc = shared.find_and(sab.lit(), ins[2].lit()).unwrap();
@@ -902,7 +952,7 @@ mod tests {
         let b = aig.add_input();
         let ab = aig.add_and(a, b);
         aig.add_output(ab);
-        let shared = ConcurrentAig::from_aig(&aig, 1.0);
+        let shared = ConcurrentAig::from_aig(&aig, 1.0).unwrap();
         let ins = shared.input_ids();
         // Fill the tiny headroom until exhaustion.
         let mut lit = ins[0].lit();
@@ -923,5 +973,76 @@ mod tests {
             }
         }
         assert!(saw_exhaustion);
+    }
+
+    #[test]
+    fn bad_headroom_is_an_error_not_a_panic() {
+        let (aig, ..) = sample();
+        for bad in [0.0, 0.99, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    ConcurrentAig::from_aig(&aig, bad),
+                    Err(AigError::InvalidHeadroom { .. })
+                ),
+                "headroom {bad} must be rejected"
+            );
+        }
+        let mut shared = ConcurrentAig::from_aig(&aig, 1.5).unwrap();
+        let cap = shared.capacity();
+        assert!(matches!(
+            shared.resync_from(&aig, f64::NAN),
+            Err(AigError::InvalidHeadroom { .. })
+        ));
+        // The failed resync must leave the arena untouched.
+        assert_eq!(shared.capacity(), cap);
+        shared.check().unwrap();
+    }
+
+    #[test]
+    fn scale_capacity_uses_checked_integer_math() {
+        // headroom = 1.0 reserves the live count plus flat slack.
+        assert_eq!(ConcurrentAig::scale_capacity(1000, 1.0).unwrap(), 1064);
+        // The quantized factor rounds up, never down.
+        assert!(ConcurrentAig::scale_capacity(1000, 1.5).unwrap() >= 1564);
+        // Values that would wrap the old `f64 as usize` cast now error.
+        assert!(matches!(
+            ConcurrentAig::scale_capacity(usize::MAX / 2, 2.0),
+            Err(AigError::CapacityOverflow { .. })
+        ));
+        assert!(matches!(
+            ConcurrentAig::scale_capacity(1 << 40, 1e300),
+            Err(AigError::CapacityOverflow { .. })
+        ));
+        // Anything past the packed-literal id space is refused even when
+        // the multiplication itself does not overflow.
+        assert!(matches!(
+            ConcurrentAig::scale_capacity((u32::MAX >> 1) as usize, 1.5),
+            Err(AigError::CapacityOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_alloc_fault_reports_exhaustion() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let ab = aig.add_and(a, b);
+        aig.add_output(ab);
+        let shared = ConcurrentAig::from_aig(&aig, 4.0).unwrap();
+        let ins = shared.input_ids();
+        // A pair that is neither foldable nor already strashed, so the
+        // lookup falls through to the allocator.
+        let fresh = (ins[0].lit(), !ins[1].lit());
+        let plan = dacpara_fault::FaultPlan::parse("arena.alloc=@1", 0).unwrap();
+        {
+            let _inj = dacpara_fault::inject(&plan);
+            assert!(matches!(
+                shared.add_and_locked(fresh.0, fresh.1),
+                Err(AigError::CapacityExhausted { .. })
+            ));
+        }
+        // Disarmed, the same call succeeds: the arena was not corrupted.
+        shared.add_and_locked(fresh.0, fresh.1).unwrap();
+        shared.check().unwrap();
     }
 }

@@ -10,6 +10,25 @@ pub enum AigError {
         /// Number of slots the arena was created with.
         capacity: usize,
     },
+    /// A headroom factor outside `[1.0, ∞)` (or a non-finite one) was
+    /// supplied to a fixed-capacity arena constructor.
+    InvalidHeadroom {
+        /// Human-readable rendering of the offending factor.
+        headroom: String,
+    },
+    /// The requested arena capacity does not fit the packed node-id space
+    /// (or overflows `usize` during sizing).
+    CapacityOverflow {
+        /// Number of live nodes the capacity was computed from.
+        live: usize,
+    },
+    /// A rewriting worker panicked; the panic was contained at the operator
+    /// boundary and converted into this error instead of unwinding through
+    /// the scheduler.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// An AIGER file could not be parsed.
     ParseAiger(String),
     /// An I/O error occurred while reading or writing a file.
@@ -25,6 +44,18 @@ impl fmt::Display for AigError {
                 "concurrent aig arena exhausted its {capacity} node slots; \
                  rebuild it with a larger headroom factor"
             ),
+            AigError::InvalidHeadroom { headroom } => write!(
+                f,
+                "arena headroom factor must be a finite value >= 1.0, got {headroom}"
+            ),
+            AigError::CapacityOverflow { live } => write!(
+                f,
+                "required arena capacity for {live} live nodes does not fit \
+                 the node-id space"
+            ),
+            AigError::WorkerPanicked { message } => {
+                write!(f, "a rewriting worker panicked: {message}")
+            }
             AigError::ParseAiger(msg) => write!(f, "invalid aiger input: {msg}"),
             AigError::Io(msg) => write!(f, "i/o error: {msg}"),
         }

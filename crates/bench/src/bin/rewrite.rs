@@ -5,6 +5,7 @@
 //! rewrite [--engine NAME] [--threads N] [--passes N]
 //!         [--runs N] [--zeros] [--classes 134|222] [--check]
 //!         [--scheduler steal|barrier]
+//!         [--headroom X.Y] [--max-regrowths N]
 //!         [--trace FILE.json] [--metrics FILE.jsonl]
 //!         [--in FILE.{aag,aig,blif}|--bench NAME[:scale]]
 //!         [--out FILE.{aag,aig,blif,v,dot}]
@@ -34,6 +35,17 @@
 //! instrumentation costs one relaxed atomic load per site. All diagnostics
 //! go to stderr; stdout stays machine-parseable (reserved for `--out -`
 //! style piping in the future).
+//!
+//! Fault tolerance (see `docs/ARCHITECTURE.md` §12):
+//!
+//! * `--headroom X.Y` — arena slack factor for the concurrent engines
+//!   (default 2.0; must be ≥ 1.0 and finite).
+//! * `--max-regrowths N` — how many times an exhausted arena may be
+//!   re-homed with doubled headroom before the pass gives up (default 4;
+//!   `0` disables in-pass recovery).
+//! * `DACPARA_FAULT_SPEC` / `DACPARA_FAULT_SEED` — arm the deterministic
+//!   fault-injection harness (e.g. `arena.alloc=1/64*2`); the armed plan is
+//!   echoed to stderr. See the `dacpara-fault` crate docs for the grammar.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -102,6 +114,12 @@ fn parse_args() -> Result<Args, String> {
             "--scheduler" => {
                 let name = it.next().ok_or("--scheduler needs `steal` or `barrier`")?;
                 cfg.scheduler = name.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--headroom" => {
+                cfg.headroom = parse_num("--headroom", it.next())?;
+            }
+            "--max-regrowths" => {
+                cfg.max_regrowths = parse_num("--max-regrowths", it.next())?;
             }
             "--zeros" => cfg.use_zeros = true,
             "--check" => check = true,
@@ -212,6 +230,7 @@ fn main() -> ExitCode {
                 "usage: rewrite [--engine NAME] [--threads N] [--passes N] \
                  [--runs N] [--zeros] [--classes 134|222] [--check] \
                  [--scheduler steal|barrier] \
+                 [--headroom X.Y] [--max-regrowths N] \
                  [--trace FILE.json] [--metrics FILE.jsonl] \
                  (--in FILE.aag | --bench NAME[:test|small|medium]) [--out FILE.aag]"
             );
@@ -227,6 +246,16 @@ fn main() -> ExitCode {
         }
     };
     let golden = if args.check { Some(aig.clone()) } else { None };
+    // Arm the deterministic fault harness if the env knobs ask for it; a
+    // malformed spec is a hard error, not a silently fault-free run.
+    match dacpara_fault::arm_from_env() {
+        Ok(None) => {}
+        Ok(Some(plan)) => eprintln!("faults: {plan}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let observing = args.trace.is_some() || args.metrics.is_some();
     if observing {
         dacpara_obs::reset();

@@ -156,6 +156,12 @@ pub struct RewriteConfig {
     /// commits within the pass; [`SchedulerKind::Barrier`] is the
     /// historical shared-cursor scheme.
     pub scheduler: SchedulerKind,
+    /// How many times a concurrent pass may recover from arena exhaustion
+    /// by salvaging committed work and re-homing into a geometrically
+    /// grown arena before [`dacpara_aig::AigError::CapacityExhausted`] is
+    /// propagated to the caller. `0` disables in-pass recovery (the
+    /// pre-recovery fail-fast behaviour).
+    pub max_regrowths: usize,
 }
 
 impl RewriteConfig {
@@ -175,6 +181,7 @@ impl RewriteConfig {
             refined_library: false,
             partition_regions: 0,
             scheduler: SchedulerKind::Steal,
+            max_regrowths: 4,
         }
     }
 
@@ -230,7 +237,10 @@ impl RewriteConfig {
         if self.num_classes == 0 {
             return Err(ConfigError::ZeroClasses);
         }
-        if self.headroom < 1.0 {
+        // NaN must be rejected, and it fails every ordered comparison, so
+        // plain `< 1.0` would wave it through: require the finite check
+        // first and the positive comparison second.
+        if !self.headroom.is_finite() || self.headroom < 1.0 {
             return Err(ConfigError::HeadroomTooSmall {
                 headroom: self.headroom,
             });
@@ -351,6 +361,18 @@ mod tests {
                 ConfigError::HeadroomTooSmall { headroom: 0.5 },
             ),
         ];
+        // NaN and infinities are rejected too (they would previously slip
+        // past `< 1.0` and abort deep inside the arena constructor).
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let cfg = RewriteConfig {
+                headroom: bad,
+                ..RewriteConfig::rewrite_op()
+            };
+            assert!(
+                matches!(cfg.validate(), Err(ConfigError::HeadroomTooSmall { .. })),
+                "headroom {bad} must be rejected"
+            );
+        }
         for (cfg, want) in cases {
             assert_eq!(cfg.validate(), Err(want));
         }

@@ -34,6 +34,7 @@ use parking_lot::Mutex;
 
 use crate::eval::{build_replacement, evaluate_node, reevaluate_structure, Candidate, EvalContext};
 use crate::lockstep::{backoff, RetryPolicy};
+use crate::recovery::{contain_panic, FirstError};
 use crate::session::RewriteSession;
 use crate::validity::{cut_cover, verify_cut};
 use crate::{Engine, RewriteConfig, RewriteStats, SchedulerKind};
@@ -88,6 +89,13 @@ pub fn rewrite_dacpara(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteStat
 /// creation or re-sync) covers the whole graph, later passes only the dirty
 /// set, and an empty dirty set returns immediately — no enumeration, no
 /// evaluation.
+///
+/// Fault tolerance: when a round ends with an error, the team has already
+/// drained cooperatively through the `bail()` checks, and the pass hands
+/// the first error to [`RewriteSession::recover`]. If recovery succeeds
+/// (arena re-homed with grown headroom, or a contained panic's salvage
+/// validated), the same run is redone on the salvaged graph — committed
+/// rewrites are kept — instead of returning `Err`.
 pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, AigError> {
     let start = Instant::now();
     let _pass_span = dacpara_obs::span!("rewrite_dacpara", threads = sess.cfg.threads);
@@ -106,11 +114,17 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
         SchedulerKind::Barrier => None,
     };
     let mut worked = false;
+    // Replacements already credited to a previous salvage, so recoveries
+    // report only the commits they newly carried over.
+    let mut salvage_mark = 0u64;
 
-    for _ in 0..sess.cfg.runs.max(1) {
+    let runs = sess.cfg.runs.max(1);
+    let mut run = 0;
+    while run < runs {
         let (work, skipped) = sess.take_worklist();
         stats.clean_skipped += skipped;
         if work.is_empty() {
+            run += 1;
             continue; // fixpoint: nothing enumerated, nothing evaluated
         }
         worked = true;
@@ -143,7 +157,7 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
         stats.worklists += worklists.len();
 
         let queue = WorkQueue::new(0);
-        let error: Mutex<Option<AigError>> = Mutex::new(None);
+        let error = FirstError::new();
         let stage_start: Mutex<Instant> = Mutex::new(Instant::now());
 
         {
@@ -154,12 +168,12 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
             let stage_start = &stage_start;
             run_spmd(cfg.threads, |w| {
                 let owner = w.id as u32 + 1;
-                let bail = || error.lock().is_some();
+                let bail = || error.is_set();
                 let begin_stage = |list_len: usize| {
                     if w.barrier() {
                         // A poisoned pass distributes nothing, but still
                         // arms the scheduler so its drain invariant holds.
-                        let len = if error.lock().is_some() { 0 } else { list_len };
+                        let len = if error.is_set() { 0 } else { list_len };
                         match pool {
                             Some(pool) => pool.begin(len),
                             None => queue.reset(len),
@@ -180,10 +194,21 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                     let chunk = chunk_size(list.len(), w.num_threads);
 
                     // -------- Stage 1: parallel cut enumeration.
+                    //
+                    // Every worker must enter the drain loop even when a
+                    // teammate has already reported an error: under the
+                    // steal scheduler each worker seeds its own block of an
+                    // armed round inside `drive`, so a worker that skipped
+                    // the stage wholesale would strand its share as
+                    // forever-pending items and the rest of the team would
+                    // spin on the drain count. Bailing is per-item instead.
                     begin_stage(list.len());
-                    if !bail() {
+                    {
                         let _obs = dacpara_obs::span("enumerate");
                         let step = |i: usize| {
+                            if bail() {
+                                return;
+                            }
                             let n = list[i];
                             if shared.is_and(n) && shared.refs(n) > 0 {
                                 let _ = store.try_cuts(shared, n);
@@ -205,9 +230,12 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
 
                     // -------- Stage 2: parallel, lock-free evaluation.
                     begin_stage(list.len());
-                    if !bail() {
+                    {
                         let _obs = dacpara_obs::span("evaluate");
                         let step = |i: usize| {
+                            if bail() {
+                                return;
+                            }
                             let n = list[i];
                             if !shared.is_and(n) || shared.refs(n) == 0 {
                                 *prep[n.index()].lock() = None;
@@ -235,7 +263,7 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
 
                     // -------- Stage 3: parallel validated replacement.
                     begin_stage(list.len());
-                    if !bail() {
+                    {
                         let _obs = dacpara_obs::span("replace");
                         match pool {
                             // Work stealing: a conflict-aborted commit puts
@@ -255,20 +283,26 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                                 } else {
                                     RetryPolicy::Block
                                 };
-                                match replace_operator(
-                                    shared,
-                                    store,
-                                    locks,
-                                    ctx,
-                                    n,
-                                    cand,
-                                    owner,
-                                    spec,
-                                    counters,
-                                    cfg.revalidate,
-                                    policy,
-                                    tries,
-                                ) {
+                                // Contain operator panics at the item
+                                // boundary: the pool never sees an unwind,
+                                // so it is not poisoned and the round drains
+                                // normally while `bail()` skips the rest.
+                                match contain_panic(|| {
+                                    replace_operator(
+                                        shared,
+                                        store,
+                                        locks,
+                                        ctx,
+                                        n,
+                                        cand,
+                                        owner,
+                                        spec,
+                                        counters,
+                                        cfg.revalidate,
+                                        policy,
+                                        tries,
+                                    )
+                                }) {
                                     Ok(ReplaceOutcome::Finished) => {
                                         if tries > 0 {
                                             pool.stats().record_retry_commit();
@@ -280,7 +314,7 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                                         ItemOutcome::Retry
                                     }
                                     Err(e) => {
-                                        *error.lock() = Some(e);
+                                        error.record(e);
                                         ItemOutcome::Done
                                     }
                                 }
@@ -295,21 +329,27 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                                         let Some(cand) = prep[n.index()].lock().take() else {
                                             continue;
                                         };
-                                        if let Err(e) = replace_operator(
-                                            shared,
-                                            store,
-                                            locks,
-                                            ctx,
-                                            n,
-                                            cand,
-                                            owner,
-                                            spec,
-                                            counters,
-                                            cfg.revalidate,
-                                            RetryPolicy::Block,
-                                            0,
-                                        ) {
-                                            *error.lock() = Some(e);
+                                        // Contain panics here too: an unwind
+                                        // out of this closure would strand
+                                        // the rest of the team at the next
+                                        // barrier forever.
+                                        if let Err(e) = contain_panic(|| {
+                                            replace_operator(
+                                                shared,
+                                                store,
+                                                locks,
+                                                ctx,
+                                                n,
+                                                cand,
+                                                owner,
+                                                spec,
+                                                counters,
+                                                cfg.revalidate,
+                                                RetryPolicy::Block,
+                                                0,
+                                            )
+                                        }) {
+                                            error.record(e);
                                             break;
                                         }
                                     }
@@ -328,11 +368,22 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                 }
             });
         }
-        if let Some(e) = error.lock().take() {
-            return Err(e);
+        stats.errors_observed += error.superseded();
+        match error.take() {
+            None => {
+                sess.canonicalize_and_sweep(true);
+                sess.shared.recompute_levels();
+                run += 1;
+            }
+            Some(e) => {
+                // Salvage committed work and redo this run on the recovered
+                // graph; `recover` propagates the error once its budget
+                // (max_regrowths / panic backstop) is spent.
+                let committed = counters.replacements.load(Ordering::Relaxed);
+                sess.recover(e, &mut stats, committed - salvage_mark)?;
+                salvage_mark = committed;
+            }
         }
-        sess.canonicalize_and_sweep(true);
-        sess.shared.recompute_levels();
     }
 
     stats.area_after = sess.shared.num_ands();
@@ -379,6 +430,11 @@ fn replace_operator(
     policy: RetryPolicy,
     tries: u32,
 ) -> Result<ReplaceOutcome, AigError> {
+    // Injected before the first `record_attempt` so a contained panic never
+    // breaks the exact `attempts == commits + aborts` accounting.
+    if dacpara_fault::point(dacpara_fault::points::OPERATOR_PANIC) {
+        panic!("injected fault: operator.panic");
+    }
     let mut spins = 0u32;
     // A rescheduled node already counted its revalidation on the first try.
     let mut revalidation_counted = tries > 0;

@@ -35,6 +35,7 @@ mod eval;
 mod lockstep;
 mod partition;
 mod pass;
+mod recovery;
 mod serial;
 mod session;
 mod static_info;

@@ -17,9 +17,9 @@ use dacpara_galois::{
     chunk_size, run_spmd, ItemOutcome, LockTable, SpecStats, StealPool, WorkQueue,
     MAX_SCHED_RETRIES,
 };
-use parking_lot::Mutex;
 
 use crate::eval::{build_replacement, evaluate_node, reevaluate_structure, EvalContext};
+use crate::recovery::{contain_panic, FirstError};
 use crate::session::RewriteSession;
 use crate::validity::{cut_cover, verify_cut};
 use crate::{Engine, RewriteConfig, RewriteStats, SchedulerKind};
@@ -75,6 +75,12 @@ pub fn rewrite_lockstep(aig: &mut Aig, cfg: &RewriteConfig) -> Result<RewriteSta
 
 /// One ICCAD'18 pass on the session's resident state (full graph on the
 /// first pass, dirty set afterwards, immediate return at a fixpoint).
+///
+/// Fault tolerance mirrors the DACPara engine: a round that ends with an
+/// error (the team drains cooperatively through the error checks) hands its
+/// first error to [`RewriteSession::recover`], which salvages committed
+/// rewrites and — within its regrowth/panic budgets — re-homes the arena so
+/// the same run can be redone instead of returning `Err`.
 pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, AigError> {
     let start = Instant::now();
     let _pass_span = dacpara_obs::span!("rewrite_lockstep", threads = sess.cfg.threads);
@@ -93,10 +99,13 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
     };
     let mut worked = false;
 
-    for _ in 0..sess.cfg.runs.max(1) {
+    let runs = sess.cfg.runs.max(1);
+    let mut run = 0;
+    while run < runs {
         let (order, skipped) = sess.take_worklist();
         stats.clean_skipped += skipped;
         if order.is_empty() {
+            run += 1;
             continue; // fixpoint: no operator runs at all
         }
         worked = true;
@@ -104,7 +113,7 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
         let (shared, store, locks, ctx) = (&sess.shared, &sess.store, &sess.locks, &sess.ctx);
         let queue = WorkQueue::new(order.len());
         let chunk = chunk_size(order.len(), cfg.threads);
-        let error: Mutex<Option<AigError>> = Mutex::new(None);
+        let error = FirstError::new();
         let replacements = AtomicU64::new(0);
 
         {
@@ -121,7 +130,7 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                     // item back to the scheduler instead of spin-retrying
                     // inline, until the retry ceiling forces it to block.
                     Some(pool) => pool.drive(w.id, |i, tries| {
-                        if error.lock().is_some() {
+                        if error.is_set() {
                             return ItemOutcome::Done;
                         }
                         let policy = if tries < MAX_SCHED_RETRIES {
@@ -129,17 +138,23 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                         } else {
                             RetryPolicy::Block
                         };
-                        match combined_operator(
-                            shared,
-                            store,
-                            locks,
-                            ctx,
-                            order[i],
-                            owner,
-                            spec,
-                            evaluations,
-                            policy,
-                        ) {
+                        // Contain operator panics at the item boundary: the
+                        // pool never sees an unwind, so it is not poisoned
+                        // and the round drains normally while the error
+                        // check above skips the rest.
+                        match contain_panic(|| {
+                            combined_operator(
+                                shared,
+                                store,
+                                locks,
+                                ctx,
+                                order[i],
+                                owner,
+                                spec,
+                                evaluations,
+                                policy,
+                            )
+                        }) {
                             Ok(CombinedOutcome::Conflict) => ItemOutcome::Retry,
                             Ok(out) => {
                                 if matches!(out, CombinedOutcome::Replaced) {
@@ -151,34 +166,40 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                                 ItemOutcome::Done
                             }
                             Err(e) => {
-                                *error.lock() = Some(e);
+                                error.record(e);
                                 ItemOutcome::Done
                             }
                         }
                     }),
                     None => {
                         while let Some(range) = queue.next_chunk(chunk) {
-                            if error.lock().is_some() {
+                            if error.is_set() {
                                 return;
                             }
                             for i in range {
-                                match combined_operator(
-                                    shared,
-                                    store,
-                                    locks,
-                                    ctx,
-                                    order[i],
-                                    owner,
-                                    spec,
-                                    evaluations,
-                                    RetryPolicy::Block,
-                                ) {
+                                // Contain panics here too: an unwind out of
+                                // this closure would kill the worker thread
+                                // and abort the whole process via the SPMD
+                                // scope join.
+                                match contain_panic(|| {
+                                    combined_operator(
+                                        shared,
+                                        store,
+                                        locks,
+                                        ctx,
+                                        order[i],
+                                        owner,
+                                        spec,
+                                        evaluations,
+                                        RetryPolicy::Block,
+                                    )
+                                }) {
                                     Ok(CombinedOutcome::Replaced) => {
                                         replacements.fetch_add(1, Ordering::Relaxed);
                                     }
                                     Ok(_) => {}
                                     Err(e) => {
-                                        *error.lock() = Some(e);
+                                        error.record(e);
                                         return;
                                     }
                                 }
@@ -188,12 +209,24 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                 }
             });
         }
-        if let Some(e) = error.lock().take() {
-            return Err(e);
+        stats.errors_observed += error.superseded();
+        // `replacements` is fresh each round, so everything it counted this
+        // round is either carried into stats on success or salvaged below.
+        let committed = replacements.load(Ordering::Relaxed);
+        stats.replacements += committed;
+        match error.take() {
+            None => {
+                sess.canonicalize_and_sweep(true);
+                sess.shared.recompute_levels();
+                run += 1;
+            }
+            Some(e) => {
+                // Salvage committed work and redo this run on the recovered
+                // graph; `recover` propagates the error once its budget
+                // (max_regrowths / panic backstop) is spent.
+                sess.recover(e, &mut stats, committed)?;
+            }
         }
-        stats.replacements += replacements.load(Ordering::Relaxed);
-        sess.canonicalize_and_sweep(true);
-        sess.shared.recompute_levels();
     }
 
     stats.area_after = sess.shared.num_ands();
@@ -226,6 +259,11 @@ fn combined_operator(
     evaluations: &AtomicU64,
     policy: RetryPolicy,
 ) -> Result<CombinedOutcome, AigError> {
+    // Injected before the first `record_attempt` so a contained panic never
+    // breaks the exact `attempts == commits + aborts` accounting.
+    if dacpara_fault::point(dacpara_fault::points::OPERATOR_PANIC) {
+        panic!("injected fault: operator.panic");
+    }
     let mut spins = 0u32;
     loop {
         let attempt = Instant::now();

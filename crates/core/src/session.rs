@@ -34,6 +34,7 @@
 use dacpara_aig::concurrent::ConcurrentAig;
 use dacpara_aig::{Aig, AigError, AigRead, NodeId};
 use dacpara_cut::CutStore;
+use dacpara_equiv::{check_equivalence, CecConfig, CecResult};
 use dacpara_galois::LockTable;
 use parking_lot::Mutex;
 
@@ -73,7 +74,33 @@ pub struct RewriteSession {
     fresh: bool,
     converged: bool,
     passes_run: usize,
+    /// Serial snapshot known equivalent to the current graph (committed
+    /// rewrites are equivalence-preserving, so it stays valid across
+    /// passes; refreshed by [`RewriteSession::resync`] because external
+    /// mutation carries no such guarantee). The panic-recovery path
+    /// CEC-checks salvaged graphs against it before accepting them.
+    golden: Aig,
+    /// Effective arena headroom: starts at [`RewriteConfig::headroom`] and
+    /// grows geometrically on each exhaustion recovery, persisting across
+    /// passes so a session that needed headroom once keeps it.
+    cur_headroom: f64,
+    /// Exhaustion recoveries performed, bounded by
+    /// [`RewriteConfig::max_regrowths`] over the session lifetime.
+    regrowths: u64,
+    /// Contained-panic recoveries performed, bounded by
+    /// [`MAX_PANIC_RECOVERIES`] over the session lifetime.
+    panic_recoveries: u64,
 }
+
+/// Headroom multiplier applied on each arena-exhaustion recovery.
+const REGROWTH_FACTOR: f64 = 2.0;
+
+/// Session-lifetime bound on contained-panic recoveries. A panic is a bug,
+/// not an expected operating condition like exhaustion, so the bound is a
+/// fixed backstop rather than a tunable: recover a few times to finish the
+/// flow, but a persistently panicking operator must eventually surface as
+/// [`AigError::WorkerPanicked`].
+const MAX_PANIC_RECOVERIES: u64 = 4;
 
 impl RewriteSession {
     /// Builds a session over a copy of `aig`, allocating the concurrent
@@ -85,13 +112,14 @@ impl RewriteSession {
     /// `cfg` fails [`RewriteConfig::validate`].
     pub fn new(aig: &Aig, cfg: &RewriteConfig) -> Result<RewriteSession, AigError> {
         cfg.validate()?;
-        let shared = ConcurrentAig::from_aig(aig, cfg.headroom);
+        let shared = ConcurrentAig::from_aig(aig, cfg.headroom)?;
         let store = CutStore::new(shared.capacity(), cfg.cut_config());
         store.set_dirty_tracking(true);
         let locks = LockTable::new(shared.capacity());
         let prep = (0..shared.capacity()).map(|_| Mutex::new(None)).collect();
         Ok(RewriteSession {
             ctx: EvalContext::new(cfg),
+            cur_headroom: cfg.headroom,
             cfg: cfg.clone(),
             shared,
             store,
@@ -100,6 +128,9 @@ impl RewriteSession {
             fresh: true,
             converged: false,
             passes_run: 0,
+            golden: aig.clone(),
+            regrowths: 0,
+            panic_recoveries: 0,
         })
     }
 
@@ -131,7 +162,7 @@ impl RewriteSession {
                     Engine::Partition => rewrite_partition(&mut aig, &self.cfg)?,
                     Engine::Iccad18 | Engine::DacPara => unreachable!("resident engines"),
                 };
-                self.resync(&aig);
+                self.resync(&aig)?;
                 self.converged = stats.area_reduction() == 0;
                 stats
             }
@@ -173,9 +204,25 @@ impl RewriteSession {
     /// Re-initializes the session from an externally mutated graph, reusing
     /// every allocation that is still large enough. The cut memo is reset
     /// (node ids were renumbered) and the next pass processes the whole
-    /// graph again.
-    pub fn resync(&mut self, aig: &Aig) {
-        self.shared.resync_from(aig, self.cfg.headroom);
+    /// graph again. The golden equivalence snapshot is refreshed: external
+    /// mutation carries no equivalence guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConcurrentAig::resync_from`] sizing errors; the session
+    /// keeps its previous graph on error.
+    pub fn resync(&mut self, aig: &Aig) -> Result<(), AigError> {
+        self.rehome(aig)?;
+        self.golden = aig.clone();
+        Ok(())
+    }
+
+    /// Re-homes the session onto `aig` at the current effective headroom
+    /// without touching the golden snapshot (shared by [`RewriteSession::resync`]
+    /// and the in-pass recovery paths, whose graphs are already known
+    /// equivalent to it).
+    fn rehome(&mut self, aig: &Aig) -> Result<(), AigError> {
+        self.shared.resync_from(aig, self.cur_headroom)?;
         let cap = self.shared.capacity();
         self.store.grow(cap);
         self.store.reset();
@@ -185,6 +232,90 @@ impl RewriteSession {
         }
         self.fresh = true;
         self.converged = false;
+        Ok(())
+    }
+
+    /// Attempts in-pass recovery from `err`, salvaging every committed
+    /// rewrite. On `Ok(())` the session has been re-homed onto the salvaged
+    /// graph and the interrupted pass should redo its current run from a
+    /// full worklist (resync renumbers nodes, so the pre-fault dirty set is
+    /// not translatable — the full list is its superset). On `Err` the
+    /// caller must propagate: the fault is either not recoverable, over its
+    /// budget, or the salvaged graph failed validation.
+    ///
+    /// `newly_committed` is the number of replacements committed since the
+    /// last salvage point; it feeds [`RewriteStats::salvaged_commits`].
+    pub(crate) fn recover(
+        &mut self,
+        err: AigError,
+        stats: &mut RewriteStats,
+        newly_committed: u64,
+    ) -> Result<(), AigError> {
+        match err {
+            AigError::CapacityExhausted { .. } => {
+                if self.regrowths >= self.cfg.max_regrowths as u64 {
+                    return Err(err);
+                }
+                // Commits are atomic under all-or-nothing locks, so after
+                // the team drained, the shared graph is consistent — at
+                // worst a failed replacement left a dangling (unreferenced)
+                // cone behind. Restore canonicity, drop dangling cones, and
+                // re-home into a geometrically larger arena.
+                self.canonicalize_and_sweep(true);
+                let salvaged = self.extract();
+                self.cur_headroom *= REGROWTH_FACTOR;
+                self.rehome(&salvaged)?;
+                self.regrowths += 1;
+                stats.regrowths += 1;
+                if dacpara_obs::is_enabled() {
+                    dacpara_obs::counter("session.regrowths").incr();
+                }
+                self.note_recovery(stats, newly_committed);
+                Ok(())
+            }
+            AigError::WorkerPanicked { .. } => {
+                if self.panic_recoveries >= MAX_PANIC_RECOVERIES {
+                    return Err(err);
+                }
+                // A panic escaping an operator voids the locking-discipline
+                // argument that exhaustion recovery leans on, so the
+                // salvaged graph must prove itself: structural invariants
+                // first, then equivalence against the golden snapshot.
+                self.canonicalize_and_sweep(true);
+                if self.shared.check().is_err() {
+                    return Err(err);
+                }
+                let salvaged = self.extract();
+                let cec = CecConfig {
+                    sim_rounds: 32,
+                    max_conflicts: 100_000,
+                    seed: 0xFA17,
+                };
+                // `Undecided` passes: simulation found no difference and
+                // the bounded SAT budget simply ran out — the same policy
+                // the differential suites use for large graphs.
+                if let CecResult::Inequivalent(_) = check_equivalence(&self.golden, &salvaged, &cec)
+                {
+                    return Err(err);
+                }
+                self.rehome(&salvaged)?;
+                self.panic_recoveries += 1;
+                self.note_recovery(stats, newly_committed);
+                Ok(())
+            }
+            other => Err(other),
+        }
+    }
+
+    /// Common bookkeeping for a successful recovery: stats fields plus the
+    /// drift-checked `session.*` obs counters.
+    fn note_recovery(&self, stats: &mut RewriteStats, newly_committed: u64) {
+        stats.recoveries += 1;
+        stats.salvaged_commits += newly_committed;
+        if dacpara_obs::is_enabled() {
+            dacpara_obs::counter("session.recoveries").incr();
+            dacpara_obs::counter("session.salvaged_commits").add(newly_committed);
+        }
     }
 
     /// The worklist for the next resident pass: every live AND node on a
@@ -322,7 +453,7 @@ mod tests {
         let mut sess = RewriteSession::new(&aig, &cfg()).unwrap();
         sess.run(Engine::DacPara).unwrap();
         let snapshot = sess.extract();
-        sess.resync(&snapshot);
+        sess.resync(&snapshot).unwrap();
         // After a resync the next pass is a full pass again.
         let stats = sess.run(Engine::DacPara).unwrap();
         assert_eq!(stats.clean_skipped, 0);

@@ -44,6 +44,21 @@ pub struct RewriteStats {
     pub worklists: usize,
     /// Wall-clock per stage: enumeration, evaluation, replacement.
     pub stage_times: [Duration; 3],
+    /// In-pass fault recoveries: how many times the pass salvaged committed
+    /// work and resumed instead of returning `Err` (arena exhaustion and
+    /// contained worker panics combined).
+    pub recoveries: u64,
+    /// Recoveries that re-homed the graph into a geometrically grown arena
+    /// (the arena-exhaustion subset of [`RewriteStats::recoveries`], bounded
+    /// by [`crate::RewriteConfig::max_regrowths`]).
+    pub regrowths: u64,
+    /// Replacements that had committed before a fault and were carried into
+    /// the recovered graph rather than discarded.
+    pub salvaged_commits: u64,
+    /// Worker errors that raced an earlier error and were superseded by the
+    /// deterministic first-error slot (the kept error is the one returned
+    /// or recovered from).
+    pub errors_observed: u64,
 }
 
 impl RewriteStats {
@@ -64,7 +79,7 @@ impl RewriteStats {
 
     /// One summary line for logs.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{}: {:.3}s area {} -> {} (-{}, {:.2}%) delay {} -> {} repl {} eval {} clean-skip {} [{}] [{}]",
             self.engine,
             self.time.as_secs_f64(),
@@ -79,7 +94,14 @@ impl RewriteStats {
             self.clean_skipped,
             self.spec,
             self.sched,
-        )
+        );
+        if self.recoveries > 0 || self.errors_observed > 0 {
+            line.push_str(&format!(
+                " [recov {} regrow {} salvaged {} superseded {}]",
+                self.recoveries, self.regrowths, self.salvaged_commits, self.errors_observed
+            ));
+        }
+        line
     }
 }
 

@@ -11,6 +11,7 @@ use std::collections::HashSet;
 
 use dacpara::{run_engine, Engine, RewriteConfig};
 use dacpara_circuits::{mtm, MtmParams};
+use dacpara_fault::FaultPlan;
 
 /// Extracts the set of `tid` values of compact trace events named `name`.
 /// Event objects are compact and `args` is always the last key, so every
@@ -97,4 +98,81 @@ fn spec_stats_match_obs_events() {
             lanes.len()
         );
     }
+
+    // 4. Recovery counters, fault-free: a comfortable-headroom run with no
+    // injected faults must report no recoveries anywhere — stats and obs
+    // agree on zero.
+    assert_eq!(stats.recoveries, 0, "fault-free run recovered: {stats}");
+    assert_eq!(
+        stats.errors_observed, 0,
+        "fault-free run saw errors: {stats}"
+    );
+    let recovery_counters = [
+        "session.recoveries",
+        "session.regrowths",
+        "session.salvaged_commits",
+        "pass.errors_observed",
+    ];
+    for name in recovery_counters {
+        assert_eq!(counter(name), 0, "{name} drifted on a fault-free run");
+    }
+
+    // 5. Recovery counters, faulted: re-run the same circuit at minimal
+    // headroom (real exhaustion → regrowth) with one injected operator
+    // panic (→ panic recovery). Both feed the same session-level leaves as
+    // the stats fields, so the counter deltas must equal the new run's
+    // stats exactly.
+    let base: Vec<u64> = recovery_counters.iter().map(|&n| counter(n)).collect();
+    // The injected panic is contained by the engine; keep it off stderr
+    // while letting real panics through.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.starts_with("injected fault:"));
+        if !injected {
+            prev_hook(info);
+        }
+    }));
+    dacpara_obs::enable();
+    let mut faulted = mtm(&MtmParams {
+        inputs: 40,
+        gates: 4_000,
+        outputs: 16,
+        seed: 7,
+    });
+    let faulted_cfg = RewriteConfig {
+        headroom: 1.0,
+        ..RewriteConfig::rewrite_op()
+    }
+    .with_threads(4);
+    let plan = FaultPlan::parse("operator.panic=@3*1", 0x0B5).expect("valid spec");
+    let faulted_stats = {
+        let _inj = dacpara_fault::inject(&plan);
+        run_engine(&mut faulted, Engine::DacPara, &faulted_cfg).expect("recovered run")
+    };
+    dacpara_obs::disable();
+    faulted.check().expect("recovered graph is sound");
+    assert!(
+        faulted_stats.recoveries > faulted_stats.regrowths,
+        "the injected panic must be recovered: {faulted_stats}"
+    );
+    let delta = |i: usize| counter(recovery_counters[i]) - base[i];
+    assert_eq!(
+        faulted_stats.recoveries,
+        delta(0),
+        "session.recoveries drift"
+    );
+    assert_eq!(faulted_stats.regrowths, delta(1), "session.regrowths drift");
+    assert_eq!(
+        faulted_stats.salvaged_commits,
+        delta(2),
+        "session.salvaged_commits drift"
+    );
+    assert_eq!(
+        faulted_stats.errors_observed,
+        delta(3),
+        "pass.errors_observed drift"
+    );
 }

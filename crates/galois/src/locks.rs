@@ -97,6 +97,12 @@ impl LockTable {
     /// Panics if `owner` is zero or an id is out of range.
     pub fn try_acquire(&self, owner: u32, mut ids: Vec<u32>) -> Option<LockSet<'_>> {
         assert_ne!(owner, 0, "owner ids are non-zero");
+        if dacpara_fault::point(dacpara_fault::points::LOCK_ACQUIRE) {
+            // An injected conflict is indistinguishable from a real one:
+            // nothing was taken, the abort is recorded, the caller retries.
+            self.stats.record_conflict();
+            return None;
+        }
         ids.sort_unstable();
         ids.dedup();
         for (i, &id) in ids.iter().enumerate() {
@@ -206,6 +212,21 @@ mod tests {
         assert!(t.try_acquire(2, vec![0]).is_none());
         assert!(t.try_acquire(2, vec![0]).is_none());
         assert_eq!(t.stats().conflicts(), 2);
+    }
+
+    #[test]
+    fn injected_acquire_fault_is_a_recorded_conflict() {
+        let t = LockTable::new(4);
+        let plan = dacpara_fault::FaultPlan::parse("lock.acquire=@1", 0).unwrap();
+        {
+            let _inj = dacpara_fault::inject(&plan);
+            assert!(t.try_acquire(1, vec![0, 2]).is_none());
+            assert!(!t.is_locked(0));
+            assert!(!t.is_locked(2));
+        }
+        assert_eq!(t.stats().conflicts(), 1);
+        // The very next (uninjected) attempt succeeds.
+        assert!(t.try_acquire(1, vec![0, 2]).is_some());
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn speculative_ref_bumps_are_exclusive() {
     // Many workers "process" nodes by locking {node, fanins} and touching
     // shared per-node counters; the counters must come out exact.
     let aig = diamond_chain(64);
-    let shared = ConcurrentAig::from_aig(&aig, 1.2);
+    let shared = ConcurrentAig::from_aig(&aig, 1.2).unwrap();
     let nodes: Vec<_> = dacpara_aig::topo_ands(&shared);
     let touched: Vec<AtomicU64> = (0..shared.capacity()).map(|_| AtomicU64::new(0)).collect();
     let locks = LockTable::new(shared.capacity());
@@ -73,7 +73,7 @@ fn concurrent_structural_additions_are_consistent() {
     let inputs: Vec<_> = (0..32).map(|_| aig.add_input()).collect();
     let keep = aig.add_and(inputs[0], inputs[1]);
     aig.add_output(keep);
-    let shared = ConcurrentAig::from_aig(&aig, 8.0);
+    let shared = ConcurrentAig::from_aig(&aig, 8.0).unwrap();
     let locks = LockTable::new(shared.capacity());
     let queue = WorkQueue::new(300);
     let ins = shared.input_ids();
@@ -120,7 +120,7 @@ fn concurrent_replacements_on_disjoint_cones() {
         aig.add_output(m);
         tops.push(m.node());
     }
-    let shared = ConcurrentAig::from_aig(&aig, 2.0);
+    let shared = ConcurrentAig::from_aig(&aig, 2.0).unwrap();
     let locks = LockTable::new(shared.capacity());
     let outputs = shared.output_lits();
     let queue = WorkQueue::new(outputs.len());
