@@ -43,6 +43,7 @@ pub mod export;
 mod lit;
 pub mod mffc;
 mod node;
+mod rebuild;
 mod topo;
 mod view;
 
@@ -51,5 +52,6 @@ pub use check::same_interface;
 pub use error::AigError;
 pub use lit::{Lit, NodeId};
 pub use node::NodeKind;
+pub use rebuild::{compact, RebuildPlan};
 pub use topo::{topo_ands, transitive_fanin, transitive_fanout_ids};
 pub use view::AigRead;

@@ -265,6 +265,18 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                     begin_stage(list.len());
                     {
                         let _obs = dacpara_obs::span("replace");
+                        // Feature-gated PR 4 drain-bug variant, the fuzzing
+                        // self-test target: when a steal round hands items
+                        // across workers, an off-by-one in the adopted range
+                        // pairs a node with the stored candidate of its
+                        // worklist neighbor. The §4.4 revalidation would
+                        // reject the foreign cut (its cover walk cannot
+                        // reach the neighbor's leaves), but the drained
+                        // commit skips that too — see `replace_operator`.
+                        // One mis-adoption per worker per list keeps the
+                        // corruption bounded so passes still terminate.
+                        // Never enabled in default builds.
+                        let misadopted = std::cell::Cell::new(false);
                         match pool {
                             // Work stealing: a conflict-aborted commit puts
                             // its candidate back into `prep` and yields the
@@ -275,7 +287,18 @@ pub(crate) fn session_pass(sess: &mut RewriteSession) -> Result<RewriteStats, Ai
                                     return ItemOutcome::Done;
                                 }
                                 let n = list[i];
-                                let Some(cand) = prep[n.index()].lock().take() else {
+                                let mut adopted = None;
+                                if cfg!(feature = "inject-drain-bug")
+                                    && !misadopted.get()
+                                    && i + 1 < list.len()
+                                {
+                                    adopted = prep[list[i + 1].index()].lock().take();
+                                    if adopted.is_some() {
+                                        misadopted.set(true);
+                                    }
+                                }
+                                let Some(cand) = adopted.or_else(|| prep[n.index()].lock().take())
+                                else {
                                     return ItemOutcome::Done;
                                 };
                                 let policy = if tries < MAX_SCHED_RETRIES {
@@ -443,6 +466,51 @@ fn replace_operator(
         spec.record_attempt();
         if !shared.is_and(n) || shared.refs(n) == 0 {
             counters.stale_skipped.fetch_add(1, Ordering::Relaxed);
+            spec.record_commit(attempt.elapsed());
+            return Ok(ReplaceOutcome::Finished);
+        }
+
+        // The commit half of the feature-gated PR 4 drain-bug variant (see
+        // stage 3): a worker draining a steal round treats adopted items as
+        // already validated and already locked by their original owner, and
+        // commits the stored snapshot wholesale — no leaf-generation triage,
+        // no cover re-walk, no truth-table re-simulation, no gain
+        // re-evaluation, no region locks. Combined with the adoption
+        // off-by-one this installs a neighbor's structure under the wrong
+        // root. Never enabled in default builds.
+        let drain_bug = cfg!(feature = "inject-drain-bug") && policy == RetryPolicy::Yield;
+        if drain_bug {
+            let root = build_replacement(&mut &*shared, &cand, ctx.lib)?;
+            // Even the injected bug must keep the graph acyclic: a foreign
+            // structure can strash-resolve an interior node onto n itself,
+            // and committing that would hang every downstream topo walk
+            // rather than miscompare. The historical bug corrupted
+            // *functions*; keep the reproduction in that class.
+            let reaches_n = root.node() != n && {
+                let mut stack = vec![root.node()];
+                let mut seen = vec![false; shared.slot_count()];
+                let mut found = false;
+                while let Some(x) = stack.pop() {
+                    if x == n {
+                        found = true;
+                        break;
+                    }
+                    if !std::mem::replace(&mut seen[x.index()], true) && shared.is_and(x) {
+                        for f in shared.fanins(x) {
+                            stack.push(f.node());
+                        }
+                    }
+                }
+                found
+            };
+            if root.node() != n && !reaches_n {
+                store.invalidate_tfo(shared, n);
+                shared.replace_locked(n, root);
+                counters.replacements.fetch_add(1, Ordering::Relaxed);
+                for &l in &cand.leaves {
+                    store.mark_dirty_tfo(shared, l);
+                }
+            }
             spec.record_commit(attempt.elapsed());
             return Ok(ReplaceOutcome::Finished);
         }

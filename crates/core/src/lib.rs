@@ -40,6 +40,7 @@ mod serial;
 mod session;
 mod static_info;
 mod stats;
+pub mod testkit;
 pub mod validity;
 
 pub use config::{ConfigError, ParseSchedulerError, RewriteConfig, SchedulerKind};

@@ -153,6 +153,69 @@ where
     }
 }
 
+/// Size-aware budget for [`check_equivalence_budgeted`].
+///
+/// Differential test suites and the fuzzing oracle share one policy: small
+/// miters get a full SAT proof, large ones fall back to random simulation
+/// (returning [`CecResult::Undecided`] instead of burning an unbounded
+/// conflict budget). This struct makes that policy a single tunable value
+/// instead of a constant copied across suites.
+#[derive(Copy, Clone, Debug)]
+pub struct CecBudget {
+    /// SAT is attempted only when `a.num_ands() + b.num_ands()` is below
+    /// this; larger pairs are checked by simulation alone.
+    pub sat_node_limit: usize,
+    /// Conflict budget handed to the SAT solver when it runs.
+    pub max_conflicts: u64,
+    /// Rounds of 64-pattern random simulation (always run).
+    pub sim_rounds: usize,
+    /// Seed for the simulation patterns.
+    pub seed: u64,
+}
+
+impl Default for CecBudget {
+    fn default() -> Self {
+        CecBudget {
+            sat_node_limit: 4_000,
+            max_conflicts: 2_000_000,
+            sim_rounds: 16,
+            seed: 0xDAC_2024,
+        }
+    }
+}
+
+impl CecBudget {
+    /// A budget tuned for high-volume fuzzing: fewer conflicts, more
+    /// simulation rounds (refutation is the common case worth being fast at).
+    pub fn fuzzing() -> Self {
+        CecBudget {
+            sat_node_limit: 4_000,
+            max_conflicts: 200_000,
+            sim_rounds: 32,
+            seed: 0xDAC_2024,
+        }
+    }
+}
+
+/// Budgeted equivalence check: the classic flow of [`check_equivalence`],
+/// but the SAT stage is skipped entirely for pairs whose combined AND count
+/// exceeds [`CecBudget::sat_node_limit`] (random simulation still runs, so
+/// inequivalence can always be refuted; only the *proof* of equivalence is
+/// given up, yielding [`CecResult::Undecided`]).
+pub fn check_equivalence_budgeted<A, B>(a: &A, b: &B, budget: &CecBudget) -> CecResult
+where
+    A: AigRead + ?Sized,
+    B: AigRead + ?Sized,
+{
+    let sat_ok = a.num_ands() + b.num_ands() < budget.sat_node_limit;
+    let cfg = CecConfig {
+        sim_rounds: budget.sim_rounds,
+        max_conflicts: if sat_ok { budget.max_conflicts } else { 0 },
+        seed: budget.seed,
+    };
+    check_equivalence(a, b, &cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +295,54 @@ mod tests {
         let (a, _) = adder_pair();
         let m = miter(&a, &a);
         assert_eq!(m.outputs()[0], Lit::FALSE);
+    }
+
+    #[test]
+    fn budgeted_proves_small_pairs_and_defers_large_ones() {
+        let (a, b) = adder_pair();
+        assert_eq!(
+            check_equivalence_budgeted(&a, &b, &CecBudget::default()),
+            CecResult::Equivalent
+        );
+        // Same pair under a zero node limit: only simulation runs.
+        let tiny = CecBudget {
+            sat_node_limit: 0,
+            ..CecBudget::default()
+        };
+        assert_eq!(
+            check_equivalence_budgeted(&a, &b, &tiny),
+            CecResult::Undecided
+        );
+    }
+
+    #[test]
+    fn budgeted_still_refutes_above_the_node_limit() {
+        let (a, b) = adder_pair();
+        // Sabotage by flipping an output of a copy of b.
+        let mut flipped = Aig::new();
+        let ins: Vec<Lit> = (0..b.num_inputs()).map(|_| flipped.add_input()).collect();
+        let mut map = vec![Lit::FALSE; b.slot_count()];
+        for (k, &i) in b.inputs().iter().enumerate() {
+            map[i.index()] = ins[k];
+        }
+        for n in dacpara_aig::topo_ands(&b) {
+            let [fa, fb] = b.fanins(n);
+            let la = map[fa.node().index()].xor(fa.is_complement());
+            let lb = map[fb.node().index()].xor(fb.is_complement());
+            map[n.index()] = flipped.add_and(la, lb);
+        }
+        for (k, o) in b.outputs().iter().enumerate() {
+            let l = map[o.node().index()].xor(o.is_complement());
+            flipped.add_output(if k == 0 { !l } else { l });
+        }
+        let tiny = CecBudget {
+            sat_node_limit: 0,
+            ..CecBudget::default()
+        };
+        assert!(matches!(
+            check_equivalence_budgeted(&a, &flipped, &tiny),
+            CecResult::Inequivalent(_)
+        ));
     }
 
     #[test]

@@ -40,7 +40,9 @@ mod cnf;
 mod sim;
 mod solver;
 
-pub use cec::{check_equivalence, miter, CecConfig, CecResult};
+pub use cec::{
+    check_equivalence, check_equivalence_budgeted, miter, CecBudget, CecConfig, CecResult,
+};
 pub use cnf::{assert_lit, model_inputs, CnfMap};
 pub use sim::{random_sim_check, simulate_bools, simulate_words, SimOutcome};
 pub use solver::{CLit, SatResult, Solver};

@@ -181,6 +181,33 @@ impl FaultPlan {
         Ok(FaultPlan { seed, specs })
     }
 
+    /// The seed the plan was parsed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's spec string in the grammar [`FaultPlan::parse`] accepts —
+    /// unlike the [`Display`](std::fmt::Display) rendering it carries no
+    /// seed suffix, so `FaultPlan::parse(&plan.spec_string(), plan.seed())`
+    /// reproduces the plan exactly. Corpus entries persist plans this way.
+    pub fn spec_string(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, (name, mode, limit)) in self.specs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match mode {
+                Mode::Rate(n) => write!(out, "{name}=1/{n}").unwrap(),
+                Mode::At(k) => write!(out, "{name}=@{k}").unwrap(),
+            }
+            if *limit != u64::MAX {
+                write!(out, "*{limit}").unwrap();
+            }
+        }
+        out
+    }
+
     fn activate(&self) -> ActivePlan {
         ActivePlan {
             seed: self.seed,
@@ -401,6 +428,14 @@ mod tests {
     fn parse_roundtrips_through_display() {
         let plan = FaultPlan::parse("a=1/64*3, b=@200, c=1/1", 7).unwrap();
         assert_eq!(format!("{plan}"), "a=1/64*3,b=@200,c=1/1 (seed 7)");
+    }
+
+    #[test]
+    fn spec_string_round_trips_through_parse() {
+        let plan = FaultPlan::parse("a=1/64*3, b=@200,c=1/1", 7).unwrap();
+        assert_eq!(plan.seed(), 7);
+        let reparsed = FaultPlan::parse(&plan.spec_string(), plan.seed()).unwrap();
+        assert_eq!(reparsed, plan);
     }
 
     #[test]

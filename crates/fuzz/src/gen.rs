@@ -1,0 +1,190 @@
+//! Seeded random AIG generation.
+//!
+//! The generator grows a strash-canonical [`Aig`] gate by gate from a seeded
+//! PRNG. Every knob is a budget or a bias, never a hard shape, so the space
+//! it covers is much wider than the hand-built `dacpara-circuits` suite:
+//! reconvergent fanout (the same pair of literals reused by several gates),
+//! XOR/MUX-rich cones (the structures the 4-cut rewriting library trades
+//! on), deep chains and wide bundles all appear at different seeds.
+//!
+//! Generation is deterministic in `(config, seed)`: the same pair always
+//! produces the same circuit, which is what makes corpus entries replayable
+//! from just a header line.
+
+use dacpara_aig::{Aig, AigRead, Lit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Budgets and biases for [`generate`].
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Target AND-node count (structural hashing may land slightly under).
+    pub nodes: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Soft depth budget: fanins are only drawn from literals whose level is
+    /// below this, so chains stop growing past it.
+    pub max_depth: u32,
+    /// Probability that a gate draws both fanins from a narrow window of
+    /// recently created literals, producing reconvergent fanout.
+    pub reconvergence: f64,
+    /// Probability that a growth step emits an XOR or MUX macro instead of
+    /// a plain AND gate.
+    pub xor_mux: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            inputs: 8,
+            nodes: 120,
+            outputs: 4,
+            max_depth: 24,
+            reconvergence: 0.35,
+            xor_mux: 0.4,
+        }
+    }
+}
+
+impl GenConfig {
+    /// A small configuration for high-volume smoke loops and shrinker food:
+    /// enough structure for every engine to find rewrites, small enough for
+    /// a full SAT equivalence proof per oracle cell.
+    pub fn small() -> Self {
+        GenConfig {
+            inputs: 6,
+            nodes: 60,
+            outputs: 3,
+            max_depth: 16,
+            ..GenConfig::default()
+        }
+    }
+}
+
+/// Generates one random AIG, deterministic in `(cfg, seed)`.
+///
+/// The result always has exactly `cfg.inputs` inputs and `cfg.outputs`
+/// outputs; the AND count approaches `cfg.nodes` but strashing and
+/// dead-cone cleanup may leave it lower. The graph always passes
+/// [`Aig::check`] — it is built exclusively through the canonical builder.
+pub fn generate(cfg: &GenConfig, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aig = Aig::with_capacity(cfg.inputs + 2 * cfg.nodes);
+    let mut pool: Vec<Lit> = (0..cfg.inputs.max(1)).map(|_| aig.add_input()).collect();
+
+    let pick = |rng: &mut StdRng, aig: &Aig, pool: &[Lit]| -> Lit {
+        // Reconvergence knob: draw from the tail window so nearby gates
+        // share fanins; otherwise draw uniformly.
+        let window = 8.min(pool.len());
+        let i = if rng.gen_bool(cfg.reconvergence) {
+            pool.len() - 1 - rng.gen_range(0..window)
+        } else {
+            rng.gen_range(0..pool.len())
+        };
+        let mut lit = pool[i].xor(rng.gen_bool(0.5));
+        // Depth budget: resample (bounded) toward shallower literals.
+        let mut tries = 0;
+        while aig.level(lit.node()) >= cfg.max_depth && tries < 8 {
+            lit = pool[rng.gen_range(0..pool.len())].xor(rng.gen_bool(0.5));
+            tries += 1;
+        }
+        lit
+    };
+
+    let mut steps = 0usize;
+    while aig.num_ands() < cfg.nodes && steps < cfg.nodes * 4 {
+        steps += 1;
+        let a = pick(&mut rng, &aig, &pool);
+        let b = pick(&mut rng, &aig, &pool);
+        let lit = if rng.gen_bool(cfg.xor_mux) {
+            if rng.gen_bool(0.5) {
+                aig.add_xor(a, b)
+            } else {
+                let s = pick(&mut rng, &aig, &pool);
+                aig.add_mux(s, a, b)
+            }
+        } else {
+            aig.add_and(a, b)
+        };
+        if !lit.is_const() {
+            pool.push(lit.regular());
+        }
+    }
+
+    // Outputs: bias toward recent (deep, otherwise-dead) literals so most
+    // of the generated structure stays live through cleanup.
+    for k in 0..cfg.outputs.max(1) {
+        let lit = if k == 0 && !pool.is_empty() {
+            *pool.last().unwrap()
+        } else {
+            let half = pool.len().div_ceil(2);
+            pool[pool.len() - 1 - rng.gen_range(0..half)]
+        };
+        aig.add_output(lit.xor(rng.gen_bool(0.5)));
+    }
+    aig.cleanup();
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = generate(&cfg, 42);
+        let b = generate(&cfg, 42);
+        assert_eq!(
+            dacpara_aig::aiger::to_string(&a),
+            dacpara_aig::aiger::to_string(&b)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GenConfig::default();
+        let a = generate(&cfg, 1);
+        let b = generate(&cfg, 2);
+        assert_ne!(
+            dacpara_aig::aiger::to_string(&a),
+            dacpara_aig::aiger::to_string(&b)
+        );
+    }
+
+    #[test]
+    fn budgets_are_respected() {
+        let cfg = GenConfig {
+            inputs: 5,
+            nodes: 80,
+            outputs: 3,
+            max_depth: 10,
+            ..GenConfig::default()
+        };
+        for seed in 0..20 {
+            let aig = generate(&cfg, seed);
+            aig.check().unwrap();
+            assert_eq!(aig.num_inputs(), 5);
+            assert_eq!(aig.num_outputs(), 3);
+            assert!(
+                aig.num_ands() <= 2 * cfg.nodes,
+                "macro steps may overshoot a little"
+            );
+            assert!(
+                aig.depth() <= cfg.max_depth + 2,
+                "xor/mux macros add at most 2 levels"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_circuits_have_live_logic() {
+        let mut total = 0usize;
+        for seed in 0..10 {
+            total += generate(&GenConfig::small(), seed).num_ands();
+        }
+        assert!(total / 10 >= 20, "average area {} too small", total / 10);
+    }
+}

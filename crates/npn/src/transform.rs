@@ -96,6 +96,35 @@ impl NpnTransform {
         }
     }
 
+    /// The inverse transform: `t.inverse().apply(t.apply(f)) == f` for every
+    /// function `f` (and symmetrically, since inversion is an involution on
+    /// the NPN group).
+    ///
+    /// With `t` mapping `x_i = y_perm[i] ^ neg_i`, the inverse permutation
+    /// satisfies `perm'[j] = i` where `perm[i] = j`, each negation bit moves
+    /// to its permuted slot (`neg'_j = neg_{perm'[j]}`), and the output
+    /// negation is its own inverse.
+    pub fn inverse(&self) -> NpnTransform {
+        let perm = PERMS[self.perm as usize];
+        let mut inv = [0u8; 4];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p as usize] = i as u8;
+        }
+        let perm_idx = PERMS
+            .iter()
+            .position(|p| *p == inv)
+            .expect("every permutation's inverse is in PERMS") as u8;
+        let mut input_neg = 0u8;
+        for (j, &i) in inv.iter().enumerate() {
+            input_neg |= (self.input_neg >> i & 1) << j;
+        }
+        NpnTransform {
+            perm: perm_idx,
+            input_neg,
+            output_neg: self.output_neg,
+        }
+    }
+
     /// Rewires the four leaf slots of `f` into the input slots of the
     /// structure computing `apply(self, f)`.
     ///
@@ -151,6 +180,23 @@ mod tests {
             output_neg: true,
         };
         assert_eq!(t.apply(f), !f);
+    }
+
+    #[test]
+    fn inverse_round_trips_sampled_functions() {
+        for f in [0u16, 1, 0xCAFE, 0x6996, 0x8000, 0xFFFF, 0x1ee7] {
+            let f = Tt4::from_raw(f);
+            for t in NpnTransform::all().step_by(5) {
+                let inv = t.inverse();
+                assert_eq!(inv.apply(t.apply(f)), f, "t={t:?}");
+                assert_eq!(t.apply(inv.apply(f)), f, "t={t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_involution_on_identity() {
+        assert_eq!(NpnTransform::IDENTITY.inverse(), NpnTransform::IDENTITY);
     }
 
     #[test]

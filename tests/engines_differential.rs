@@ -9,28 +9,11 @@
 //! of serializing their worker), so the suite compares both schedulers'
 //! results against the same serial baselines and against each other.
 
+use dacpara::testkit::{base_cfg, baseline_slack, GALOIS_ENGINES, PARALLEL_ENGINES};
 use dacpara::{run_engine, Engine, RewriteConfig, SchedulerKind};
 use dacpara_aig::{Aig, AigRead};
 use dacpara_circuits::{full_suite, Benchmark, Scale};
 use dacpara_equiv::{check_equivalence, random_sim_check, CecConfig, CecResult, SimOutcome};
-
-/// The five parallel engines (everything except the serial baseline).
-const PARALLEL: [Engine; 5] = [
-    Engine::Iccad18,
-    Engine::Dac22,
-    Engine::Tcad23,
-    Engine::DacPara,
-    Engine::Partition,
-];
-
-/// The engine's paper configuration (the GPU emulations use the `drw`
-/// setup; everything else the ABC `rewrite` operator setup).
-fn base_cfg(engine: Engine) -> RewriteConfig {
-    match engine {
-        Engine::Dac22 | Engine::Tcad23 => RewriteConfig::drw_op(),
-        _ => RewriteConfig::rewrite_op(),
-    }
-}
 
 /// CEC via SAT where affordable, exhaustive random simulation otherwise
 /// (same policy as `engines_equivalence.rs`).
@@ -58,25 +41,6 @@ fn serial_area(bench: &Benchmark, cfg: &RewriteConfig) -> usize {
     stats.area_after
 }
 
-/// Engine-dependent envelope around the serial baseline, expressed as a
-/// fraction of the reduction the serial order achieved.
-///
-/// * `dacpara` — §5.2 claims near-parity with the serial result; the suite's
-///   observed worst case is ~7% of the serial reduction, so pin 10%.
-/// * `iccad18` — the per-level commit order forfeits more rewrites that a
-///   global ordering would chain (observed up to 15%); pin 25%.
-/// * the static emulations and the coarse partitioner trade quality for
-///   structure and on some circuits recover none of the serial reduction —
-///   for them the pin is "never worse than the input netlist".
-fn slack(engine: Engine, area_before: usize, serial_after: usize) -> usize {
-    let reduction = area_before - serial_after;
-    match engine {
-        Engine::DacPara => 1 + reduction / 10,
-        Engine::Iccad18 => 1 + reduction / 4,
-        _ => reduction,
-    }
-}
-
 fn assert_within_baseline(
     bench: &Benchmark,
     engine: Engine,
@@ -84,7 +48,7 @@ fn assert_within_baseline(
     serial_after: usize,
     label: &str,
 ) {
-    let bound = serial_after + slack(engine, bench.aig.num_ands(), serial_after);
+    let bound = serial_after + baseline_slack(engine, bench.aig.num_ands(), serial_after);
     assert!(
         area_after <= bound,
         "{label}: {engine} on {} finished at {} ANDs, serial baseline {} (bound {})",
@@ -100,7 +64,7 @@ fn parallel_engines_track_the_serial_baseline_across_threads() {
     for bench in &full_suite(Scale::Test) {
         let serial_rw = serial_area(bench, &RewriteConfig::rewrite_op());
         let serial_drw = serial_area(bench, &RewriteConfig::drw_op());
-        for engine in PARALLEL {
+        for engine in PARALLEL_ENGINES {
             let serial_after = match engine {
                 Engine::Dac22 | Engine::Tcad23 => serial_drw,
                 _ => serial_rw,
@@ -129,7 +93,7 @@ fn parallel_engines_track_the_serial_baseline_across_threads() {
 fn galois_engines_match_the_baseline_under_both_schedulers() {
     for bench in &full_suite(Scale::Test) {
         let serial_after = serial_area(bench, &RewriteConfig::rewrite_op());
-        for engine in [Engine::DacPara, Engine::Iccad18] {
+        for engine in GALOIS_ENGINES {
             let mut by_scheduler = [0usize; 2];
             for (slot, sched) in [SchedulerKind::Steal, SchedulerKind::Barrier]
                 .into_iter()
@@ -159,7 +123,7 @@ fn galois_engines_match_the_baseline_under_both_schedulers() {
             // interleavings, so allow the same baseline-relative slack).
             let [steal, barrier] = by_scheduler;
             assert!(
-                steal <= barrier + slack(engine, bench.aig.num_ands(), serial_after),
+                steal <= barrier + baseline_slack(engine, bench.aig.num_ands(), serial_after),
                 "{engine} on {}: steal {} vs barrier {}",
                 bench.name,
                 steal,

@@ -35,7 +35,22 @@ use dacpara_fault::{points, FaultPlan};
 /// No single engine run on a test-scale circuit takes anywhere near this
 /// long; hitting it means a recovery path deadlocked (the class of bug the
 /// stage-guard seeding race produced) and the test must fail, not hang CI.
-const WATCHDOG: Duration = Duration::from_secs(300);
+const WATCHDOG_BASE_SECS: u64 = 300;
+
+/// The watchdog deadline, scaled by the `DACPARA_TEST_TIMEOUT_MUL` env
+/// multiplier. Sanitizer builds run the same workload an order of
+/// magnitude slower (TSan instruments every memory access), so their
+/// workflows export a multiplier instead of this file hardcoding the
+/// worst case for everyone — a genuine deadlock should still fail fast in
+/// normal CI.
+fn watchdog() -> Duration {
+    let mul = std::env::var("DACPARA_TEST_TIMEOUT_MUL")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&m| m >= 1)
+        .unwrap_or(1);
+    Duration::from_secs(WATCHDOG_BASE_SECS * mul)
+}
 
 /// Serializes the tests in this binary: fault plans and the injection
 /// firing counters are process-global state.
@@ -67,7 +82,7 @@ fn silence_injected_panics() {
 }
 
 /// Runs `engine` on its own thread and panics if it neither reports nor
-/// panics within [`WATCHDOG`] — a hang is a test failure, not a CI timeout.
+/// panics within [`watchdog`] — a hang is a test failure, not a CI timeout.
 fn run_with_watchdog(
     label: &str,
     aig: Aig,
@@ -80,13 +95,14 @@ fn run_with_watchdog(
         let result = run_engine(&mut aig, engine, &cfg);
         let _ = tx.send((aig, result));
     });
-    match rx.recv_timeout(WATCHDOG) {
+    let deadline = watchdog();
+    match rx.recv_timeout(deadline) {
         Ok(out) => {
             handle.join().expect("engine thread exited after reporting");
             out
         }
         Err(RecvTimeoutError::Timeout) => {
-            panic!("{label}: engine hung (no result within {WATCHDOG:?})")
+            panic!("{label}: engine hung (no result within {deadline:?})")
         }
         Err(RecvTimeoutError::Disconnected) => match handle.join() {
             Ok(()) => unreachable!("engine thread dropped its sender without a result"),
